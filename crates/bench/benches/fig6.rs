@@ -1,0 +1,33 @@
+//! Figure 6 workload: smart `T ⊇ Q` retrieval at D_t = 10 — plain vs smart
+//! strategies on BSSF and NIX.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setsig_bench::{bench_db, superset_query};
+
+fn fig6(c: &mut Criterion) {
+    let sim = bench_db(10);
+    let bssf = sim.build_bssf(500, 2);
+    let nix = sim.build_nix();
+
+    let mut group = c.benchmark_group("fig6_smart_superset_dt10");
+    group.sample_size(20);
+    for d_q in [2u32, 5, 10] {
+        let q = superset_query(&sim, d_q, 60 + d_q as u64);
+        group.bench_with_input(BenchmarkId::new("bssf_plain", d_q), &q, |b, q| {
+            b.iter(|| sim.measure_facility(&bssf, q))
+        });
+        group.bench_with_input(BenchmarkId::new("bssf_smart", d_q), &q, |b, q| {
+            b.iter(|| sim.measure(q, || bssf.candidates_superset_smart(q, 2)))
+        });
+        group.bench_with_input(BenchmarkId::new("nix_plain", d_q), &q, |b, q| {
+            b.iter(|| sim.measure_facility(&nix, q))
+        });
+        group.bench_with_input(BenchmarkId::new("nix_smart", d_q), &q, |b, q| {
+            b.iter(|| sim.measure(q, || nix.candidates_superset_smart(q, 2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 9 workload: smart `T ⊆ Q` retrieval at D_t = 10 — the slice-cap
+//! strategy vs the plain scan vs NIX.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setsig_bench::{bench_db, subset_query};
+use setsig_costmodel::{BssfModel, Params};
+
+fn fig9(c: &mut Criterion) {
+    let sim = bench_db(10);
+    let bssf = sim.build_bssf(500, 2);
+    let nix = sim.build_nix();
+    let p = Params::scaled(sim.cfg.n_objects, sim.cfg.domain);
+    let model = BssfModel::new(p, 500, 2, 10);
+    let opt = model.d_q_opt().round().max(1.0) as u32;
+    let slice_cap = (500.0 - model.m_s(opt)).round().max(1.0) as usize;
+
+    let mut group = c.benchmark_group("fig9_smart_subset_dt10");
+    group.sample_size(10);
+    for d_q in [30u32, 100, 300] {
+        let q = subset_query(&sim, d_q, 90 + d_q as u64);
+        group.bench_with_input(BenchmarkId::new("bssf_plain", d_q), &q, |b, q| {
+            b.iter(|| sim.measure_facility(&bssf, q))
+        });
+        group.bench_with_input(BenchmarkId::new("bssf_smart", d_q), &q, |b, q| {
+            b.iter(|| sim.measure(q, || bssf.candidates_subset_smart(q, slice_cap)))
+        });
+        group.bench_with_input(BenchmarkId::new("nix", d_q), &q, |b, q| {
+            b.iter(|| sim.measure_facility(&nix, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,928 @@
+//! The bit-sliced signature file (BSSF) organization.
+//!
+//! BSSF stores signatures **column-wise** (§3.1, Figure 3): one file per bit
+//! position, `F` files in total. Bit `j` of the signature at position `p`
+//! lives at bit `p mod (P·b)` of page `p / (P·b)` in slice file `j`, so each
+//! slice occupies `⌈N/(P·b)⌉` pages — one page for the paper's `N = 32,000`.
+//!
+//! Retrieval touches only the slices the query signature implies:
+//!
+//! * `T ⊇ Q` — read the `m_q` slices where the query signature has `1`,
+//!   AND them; rows still set are drops (§4.2).
+//! * `T ⊆ Q` — read the `F − m_q` slices where the query signature has `0`,
+//!   OR them; rows still clear are drops.
+//!
+//! That asymmetry — cost `∝ m_q` for ⊇, `∝ F − m_q` for ⊆ — is the engine
+//! behind every BSSF result in the paper, including the advantage of a
+//! small `m` and the "smart" strategies of §5.1.3/§5.2.2, both implemented
+//! here ([`Bssf::candidates_superset_smart`], [`Bssf::candidates_subset_smart`]).
+//!
+//! Insertion is BSSF's weakness: the paper charges the worst case `F + 1`
+//! accesses (every slice file plus the OID file). [`Bssf::insert`] does
+//! exactly that; [`Bssf::insert_sparse`] and [`Bssf::bulk_load`] implement
+//! the improvements §6 anticipates.
+
+use setsig_pagestore::{Page, PagedFile, PageIo, PAGE_SIZE};
+use std::sync::Arc;
+
+use crate::bitmap::Bitmap;
+use crate::config::SignatureConfig;
+use crate::element::ElementKey;
+use crate::error::{Error, Result};
+use crate::facility::{CandidateSet, SetAccessFacility};
+use crate::oid::Oid;
+use crate::oidfile::OidFile;
+use crate::query::{SetPredicate, SetQuery};
+use crate::signature::Signature;
+
+/// Rows (signature positions) per slice page: `P·b` bits.
+const ROWS_PER_PAGE: u64 = (PAGE_SIZE * 8) as u64;
+
+/// A bit-sliced signature file with its companion OID file.
+pub struct Bssf {
+    cfg: SignatureConfig,
+    slices: Vec<PagedFile>,
+    oid_file: OidFile,
+    /// Catalog checkpoint file; created lazily by [`Bssf::sync_meta`].
+    meta_file: Option<PagedFile>,
+}
+
+impl Bssf {
+    /// Creates an empty BSSF named `name` (slice files `<name>.s<j>`, OID
+    /// file `<name>.oid`) on `io`.
+    pub fn create(io: Arc<dyn PageIo>, name: &str, cfg: SignatureConfig) -> Result<Self> {
+        let slices = (0..cfg.f_bits())
+            .map(|j| PagedFile::create(Arc::clone(&io), &format!("{name}.s{j}")))
+            .collect();
+        Ok(Bssf {
+            cfg,
+            slices,
+            oid_file: OidFile::create(io, &format!("{name}.oid")),
+            meta_file: None,
+        })
+    }
+
+    /// The signature design parameters.
+    pub fn config(&self) -> &SignatureConfig {
+        &self.cfg
+    }
+
+    /// The companion OID file.
+    pub fn oid_file(&self) -> &OidFile {
+        &self.oid_file
+    }
+
+    /// Pages per slice file: `⌈n/(P·b)⌉` for `n` entries.
+    pub fn pages_per_slice(&self) -> u64 {
+        self.oid_file.len().div_ceil(ROWS_PER_PAGE)
+    }
+
+    fn row_page(pos: u64) -> (u32, usize) {
+        ((pos / ROWS_PER_PAGE) as u32, (pos % ROWS_PER_PAGE) as usize)
+    }
+
+    /// Indexes `sig` for `oid` the paper's way: touches **every** slice
+    /// file plus the OID file — `F + 1` page writes (`UC_I = F + 1`).
+    pub fn insert_signature(&mut self, oid: Oid, sig: &Signature) -> Result<u64> {
+        self.check_width(sig)?;
+        let pos = self.oid_file.len();
+        let (page_no, bit) = Self::row_page(pos);
+        for (j, slice) in self.slices.iter().enumerate() {
+            let set = sig.bitmap().get(j as u32);
+            Self::write_row_bits(slice, page_no, &[(bit, set)])?;
+        }
+        let opos = self.oid_file.append(oid)?;
+        debug_assert_eq!(opos, pos);
+        Ok(pos)
+    }
+
+    /// Applies `(bit, value)` updates to one slice page with exactly one
+    /// write when the page exists; otherwise zero-fills the gap and
+    /// appends a staged page (one write plus any gap pages).
+    fn write_row_bits(slice: &PagedFile, page_no: u32, bits: &[(usize, bool)]) -> Result<()> {
+        if slice.len()? > page_no {
+            slice.update(page_no, |page| {
+                for &(b, v) in bits {
+                    page.set_bit(b, v);
+                }
+            })?;
+            Ok(())
+        } else {
+            slice.extend_to(page_no)?;
+            let mut page = Page::zeroed();
+            for &(b, v) in bits {
+                page.set_bit(b, v);
+            }
+            let appended = slice.append(&page)?;
+            debug_assert_eq!(appended, page_no);
+            Ok(())
+        }
+    }
+
+    /// Indexes `sig` touching only the slices whose bit is `1` — about
+    /// `m_t + 1` writes instead of `F + 1` (the improvement §6 anticipates).
+    ///
+    /// Slice files are extended lazily; a query reading a slice page that
+    /// was never written treats it as zeros without charging an access.
+    pub fn insert_signature_sparse(&mut self, oid: Oid, sig: &Signature) -> Result<u64> {
+        self.check_width(sig)?;
+        let pos = self.oid_file.len();
+        let (page_no, bit) = Self::row_page(pos);
+        for j in sig.bitmap().iter_ones() {
+            Self::write_row_bits(&self.slices[j as usize], page_no, &[(bit, true)])?;
+        }
+        let opos = self.oid_file.append(oid)?;
+        debug_assert_eq!(opos, pos);
+        Ok(pos)
+    }
+
+    /// Builds the BSSF from scratch in one pass, writing every slice page
+    /// and OID page exactly once: `F·⌈n/(P·b)⌉ + ⌈n/O_p⌉` writes total.
+    ///
+    /// Fails if the file already contains entries (bulk load is a
+    /// build-time operation).
+    pub fn bulk_load(&mut self, items: &[(Oid, Vec<ElementKey>)]) -> Result<()> {
+        if !self.oid_file.is_empty() {
+            return Err(Error::BadConfig("bulk_load requires an empty BSSF".into()));
+        }
+        let n = items.len() as u64;
+        let npages = n.div_ceil(ROWS_PER_PAGE) as u32;
+        let f = self.cfg.f_bits() as usize;
+        // Stage all slice pages in memory: F × npages × 4 KiB.
+        let mut staged: Vec<Vec<Page>> =
+            (0..f).map(|_| (0..npages).map(|_| Page::zeroed()).collect()).collect();
+        let mut oids = Vec::with_capacity(items.len());
+        for (i, (oid, set)) in items.iter().enumerate() {
+            let sig = Signature::for_set(&self.cfg, set);
+            let (page_no, bit) = Self::row_page(i as u64);
+            for j in sig.bitmap().iter_ones() {
+                staged[j as usize][page_no as usize].set_bit(bit, true);
+            }
+            oids.push(*oid);
+        }
+        for (j, pages) in staged.into_iter().enumerate() {
+            for page in &pages {
+                self.slices[j].append(page)?;
+            }
+        }
+        self.oid_file.bulk_append(&oids)?;
+        Ok(())
+    }
+
+    fn check_width(&self, sig: &Signature) -> Result<()> {
+        if sig.f_bits() != self.cfg.f_bits() {
+            return Err(Error::WidthMismatch { expected: self.cfg.f_bits(), got: sig.f_bits() });
+        }
+        Ok(())
+    }
+
+    /// Reads slice `j` as a row bitmap of length `n` (the current entry
+    /// count), charging one read per materialized page. Pages past the end
+    /// of a sparsely built slice are known-zero from file metadata and cost
+    /// nothing.
+    fn read_slice_rows(&self, j: u32) -> Result<Bitmap> {
+        let n = self.oid_file.len();
+        let slice = &self.slices[j as usize];
+        let have = slice.len()?;
+        let nbytes = (n as usize).div_ceil(8);
+        let mut buf = vec![0u8; nbytes];
+        let npages = (n.div_ceil(ROWS_PER_PAGE) as u32).min(have);
+        for p in 0..npages {
+            // A slice page holds PAGE_SIZE·8 rows, so page p's bits start
+            // at byte p·PAGE_SIZE of the row buffer — a straight copy.
+            let start = p as usize * PAGE_SIZE;
+            let take = (nbytes - start).min(PAGE_SIZE);
+            slice.io().read_page(slice.id(), p).map(|page| {
+                buf[start..start + take].copy_from_slice(&page.as_bytes()[..take]);
+            })?;
+        }
+        Ok(Bitmap::from_bytes(n as u32, &buf))
+    }
+
+    /// `T ⊇ Q` scan (§4.2): AND of the slices at the query signature's
+    /// 1-positions, optionally restricted to the first `max_slices` of them
+    /// (the smart strategy caps this via a reduced query signature).
+    fn superset_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
+        let n = self.oid_file.len();
+        let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
+        if ones.is_empty() {
+            // Empty query set: everything is a superset.
+            return Ok((0..n).collect());
+        }
+        let mut acc = self.read_slice_rows(ones[0])?;
+        for &j in &ones[1..] {
+            if acc.is_zero() {
+                break;
+            }
+            acc.and_assign(&self.read_slice_rows(j)?);
+        }
+        Ok(acc.iter_ones().map(u64::from).collect())
+    }
+
+    /// `T ⊆ Q` scan (§4.2): OR of the slices at the query signature's
+    /// 0-positions; drops are the rows left clear. `slice_cap` limits how
+    /// many zero-slices are read (`F − m_s` of them under the §5.2.2 smart
+    /// strategy); `None` reads all `F − m_q`.
+    fn subset_positions(&self, query_sig: &Signature, slice_cap: Option<usize>) -> Result<Vec<u64>> {
+        let n = self.oid_file.len();
+        let zeros: Vec<u32> = query_sig.bitmap().iter_zeros().collect();
+        let take = slice_cap.unwrap_or(zeros.len()).min(zeros.len());
+        let mut acc = Bitmap::zeroed(n as u32);
+        for &j in &zeros[..take] {
+            acc.or_assign(&self.read_slice_rows(j)?);
+        }
+        Ok((0..n).filter(|&p| !acc.get(p as u32)).collect())
+    }
+
+    /// Set-equality scan: rows where every 1-slice is set and every 0-slice
+    /// is clear. Reads all `F` slices.
+    fn equals_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
+        let sup = self.superset_positions(query_sig)?;
+        let sub: std::collections::BTreeSet<u64> =
+            self.subset_positions(query_sig, None)?.into_iter().collect();
+        Ok(sup.into_iter().filter(|p| sub.contains(p)).collect())
+    }
+
+    /// Overlap scan: rows sharing at least `m` set bits with the query
+    /// signature. Reads the `m_q` 1-slices and counts per row.
+    fn overlap_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
+        let n = self.oid_file.len() as usize;
+        let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
+        let mut counts = vec![0u16; n];
+        for &j in &ones {
+            let rows = self.read_slice_rows(j)?;
+            for p in rows.iter_ones() {
+                counts[p as usize] += 1;
+            }
+        }
+        let m = self.cfg.m_weight() as u16;
+        Ok(counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= m)
+            .map(|(p, _)| p as u64)
+            .collect())
+    }
+
+    fn positions_for(&self, query: &SetQuery, query_sig: &Signature) -> Result<Vec<u64>> {
+        match query.predicate {
+            SetPredicate::HasSubset | SetPredicate::Contains => {
+                self.superset_positions(query_sig)
+            }
+            SetPredicate::InSubset => self.subset_positions(query_sig, None),
+            SetPredicate::Equals => self.equals_positions(query_sig),
+            SetPredicate::Overlaps => self.overlap_positions(query_sig),
+        }
+    }
+
+    fn resolve(&self, positions: Vec<u64>) -> Result<CandidateSet> {
+        let resolved = self.oid_file.lookup_positions(&positions)?;
+        Ok(CandidateSet::new(resolved.into_iter().map(|(_, oid)| oid).collect(), false))
+    }
+
+    /// The §5.1.3 smart strategy for `T ⊇ Q`: form the query signature from
+    /// at most `max_elems` (arbitrary — we take the first) elements of the
+    /// query set, bounding the slice reads at `≈ max_elems · m` while the
+    /// final qualification still uses the full predicate at drop-resolution
+    /// time.
+    pub fn candidates_superset_smart(&self, query: &SetQuery, max_elems: usize) -> Result<CandidateSet> {
+        if query.predicate != SetPredicate::HasSubset {
+            return Err(Error::BadQuery("smart superset strategy requires T ⊇ Q".into()));
+        }
+        let take = query.elements.len().min(max_elems.max(1));
+        let reduced = Signature::for_set(&self.cfg, &query.elements[..take]);
+        let positions = self.superset_positions(&reduced)?;
+        self.resolve(positions)
+    }
+
+    /// The §5.2.2 smart strategy for `T ⊆ Q`: read only `max_slices` of the
+    /// query signature's 0-slices (chosen arbitrarily — we take the lowest
+    /// positions). Appendix C's `D_q^opt` determines the cap that minimizes
+    /// total cost; `setsig-costmodel` computes it.
+    pub fn candidates_subset_smart(&self, query: &SetQuery, max_slices: usize) -> Result<CandidateSet> {
+        if query.predicate != SetPredicate::InSubset {
+            return Err(Error::BadQuery("smart subset strategy requires T ⊆ Q".into()));
+        }
+        let query_sig = query.signature(&self.cfg);
+        let positions = self.subset_positions(&query_sig, Some(max_slices))?;
+        self.resolve(positions)
+    }
+}
+
+impl SetAccessFacility for Bssf {
+    fn name(&self) -> &'static str {
+        "BSSF"
+    }
+
+    fn insert(&mut self, oid: Oid, set: &[ElementKey]) -> Result<()> {
+        let sig = Signature::for_set(&self.cfg, set);
+        self.insert_signature(oid, &sig)?;
+        Ok(())
+    }
+
+    fn delete(&mut self, oid: Oid, _set: &[ElementKey]) -> Result<()> {
+        // Like SSF: tombstone in the OID file only (§4.2); stale slice bits
+        // are filtered at OID look-up time.
+        self.oid_file.delete_by_oid(oid)?;
+        Ok(())
+    }
+
+    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        let query_sig = query.signature(&self.cfg);
+        let positions = self.positions_for(query, &query_sig)?;
+        self.resolve(positions)
+    }
+
+    fn indexed_count(&self) -> u64 {
+        self.oid_file.live_count()
+    }
+
+    fn storage_pages(&self) -> Result<u64> {
+        let mut total = self.oid_file.storage_pages()? as u64;
+        for s in &self.slices {
+            total += s.len()? as u64;
+        }
+        Ok(total)
+    }
+}
+
+impl std::fmt::Debug for Bssf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Bssf {{ F: {}, m: {}, entries: {} }}",
+            self.cfg.f_bits(),
+            self.cfg.m_weight(),
+            self.oid_file.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setsig_pagestore::Disk;
+
+    fn bssf(f_bits: u32, m: u32) -> (Arc<Disk>, Bssf) {
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let cfg = SignatureConfig::new(f_bits, m).unwrap();
+        (disk.clone(), Bssf::create(io, "test", cfg).unwrap())
+    }
+
+    fn keys(elems: &[&str]) -> Vec<ElementKey> {
+        elems.iter().map(ElementKey::from).collect()
+    }
+
+    #[test]
+    fn superset_query_finds_matches() {
+        let (_d, mut b) = bssf(64, 2);
+        b.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
+        b.insert(Oid::new(2), &keys(&["Tennis"])).unwrap();
+        b.insert(Oid::new(3), &keys(&["Baseball", "Golf", "Fishing"])).unwrap();
+
+        let q = SetQuery::has_subset(keys(&["Baseball", "Fishing"]));
+        let c = b.candidates(&q).unwrap();
+        assert!(c.oids.contains(&Oid::new(1)));
+        assert!(c.oids.contains(&Oid::new(3)));
+    }
+
+    #[test]
+    fn subset_query_finds_contained_sets() {
+        let (_d, mut b) = bssf(128, 2);
+        b.insert(Oid::new(1), &keys(&["Baseball"])).unwrap();
+        b.insert(Oid::new(2), &keys(&["Baseball", "Football"])).unwrap();
+        b.insert(Oid::new(3), &keys(&["Chess", "Go", "Shogi", "Backgammon"])).unwrap();
+
+        let q = SetQuery::in_subset(keys(&["Baseball", "Football", "Tennis"]));
+        let c = b.candidates(&q).unwrap();
+        assert!(c.oids.contains(&Oid::new(1)));
+        assert!(c.oids.contains(&Oid::new(2)));
+    }
+
+    #[test]
+    fn insert_touches_every_slice_plus_oid_file() {
+        let (disk, mut b) = bssf(64, 2);
+        b.insert(Oid::new(1), &keys(&["a"])).unwrap();
+        disk.reset_stats();
+        b.insert(Oid::new(2), &keys(&["b"])).unwrap();
+        let s = disk.snapshot();
+        // The paper's worst case: F slice writes + 1 OID write.
+        assert_eq!((s.reads, s.writes), (0, 65));
+    }
+
+    #[test]
+    fn sparse_insert_touches_only_set_slices() {
+        let (disk, mut b) = bssf(64, 2);
+        let sig = Signature::for_set(b.config(), &keys(&["a"]));
+        let weight = sig.weight() as u64;
+        b.insert_signature_sparse(Oid::new(1), &sig).unwrap();
+        // First insert extends the touched slices (1 extend-write + 1
+        // update each) + 1 OID write.
+        disk.reset_stats();
+        let sig2 = Signature::for_set(b.config(), &keys(&["a2"]));
+        let w2 = sig2.weight() as u64;
+        b.insert_signature_sparse(Oid::new(2), &sig2).unwrap();
+        let s = disk.snapshot();
+        assert!(
+            s.writes <= 2 * w2 + 1,
+            "sparse insert wrote {} pages for weight {w2}",
+            s.writes
+        );
+        let _ = weight;
+    }
+
+    #[test]
+    fn sparse_and_dense_inserts_answer_identically() {
+        let (_d1, mut dense) = bssf(64, 2);
+        let (_d2, mut sparse) = bssf(64, 2);
+        let sets: Vec<Vec<ElementKey>> = (0..50u64)
+            .map(|i| (0..4).map(|j| ElementKey::from(i * 13 + j)).collect())
+            .collect();
+        for (i, set) in sets.iter().enumerate() {
+            let sig = Signature::for_set(dense.config(), set);
+            dense.insert_signature(Oid::new(i as u64), &sig).unwrap();
+            sparse.insert_signature_sparse(Oid::new(i as u64), &sig).unwrap();
+        }
+        for probe in [0u64, 7, 23, 49] {
+            let q = SetQuery::has_subset(vec![ElementKey::from(probe * 13)]);
+            assert_eq!(
+                dense.candidates(&q).unwrap(),
+                sparse.candidates(&q).unwrap(),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_build() {
+        let items: Vec<(Oid, Vec<ElementKey>)> = (0..200u64)
+            .map(|i| (Oid::new(i), (0..3).map(|j| ElementKey::from(i * 7 + j)).collect()))
+            .collect();
+        let (_d1, mut inc) = bssf(128, 2);
+        for (oid, set) in &items {
+            inc.insert(*oid, set).unwrap();
+        }
+        let (disk2, mut bulk) = bssf(128, 2);
+        bulk.bulk_load(&items).unwrap();
+        // Bulk load writes each slice page once + the OID pages once.
+        assert_eq!(disk2.snapshot().writes, 128 + 1);
+        for probe in [0u64, 42, 199] {
+            let q = SetQuery::has_subset(vec![ElementKey::from(probe * 7 + 1)]);
+            assert_eq!(inc.candidates(&q).unwrap(), bulk.candidates(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn bulk_load_rejects_nonempty() {
+        let (_d, mut b) = bssf(64, 2);
+        b.insert(Oid::new(1), &keys(&["x"])).unwrap();
+        assert!(b.bulk_load(&[(Oid::new(2), keys(&["y"]))]).is_err());
+    }
+
+    #[test]
+    fn superset_scan_reads_m_q_slices() {
+        let (disk, mut b) = bssf(64, 2);
+        for i in 0..10u64 {
+            b.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        let q = SetQuery::has_subset(vec![ElementKey::from(3u64)]);
+        let qsig = q.signature(b.config());
+        disk.reset_stats();
+        let c = b.candidates(&q).unwrap();
+        assert!(c.oids.contains(&Oid::new(3)));
+        // m_q slice pages (1 page each) + 1 OID page. Early-exit may read
+        // fewer slices if the accumulator empties, but a match exists so
+        // all are read.
+        let s = disk.snapshot();
+        assert_eq!(s.reads, qsig.weight() as u64 + 1);
+    }
+
+    #[test]
+    fn subset_scan_reads_f_minus_m_q_slices() {
+        let (disk, mut b) = bssf(64, 2);
+        for i in 0..10u64 {
+            b.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        let q = SetQuery::in_subset(vec![ElementKey::from(3u64), ElementKey::from(4u64)]);
+        let qsig = q.signature(b.config());
+        disk.reset_stats();
+        let c = b.candidates(&q).unwrap();
+        assert!(c.oids.contains(&Oid::new(3)));
+        assert!(c.oids.contains(&Oid::new(4)));
+        let s = disk.snapshot();
+        let zero_slices = 64 - qsig.weight() as u64;
+        assert_eq!(s.reads, zero_slices + 1);
+    }
+
+    #[test]
+    fn equals_and_overlap_predicates() {
+        let (_d, mut b) = bssf(128, 3);
+        b.insert(Oid::new(1), &keys(&["a", "b"])).unwrap();
+        b.insert(Oid::new(2), &keys(&["a", "c"])).unwrap();
+        b.insert(Oid::new(3), &keys(&["x", "y"])).unwrap();
+
+        let qe = SetQuery::equals(keys(&["b", "a"]));
+        let c = b.candidates(&qe).unwrap();
+        assert!(c.oids.contains(&Oid::new(1)));
+        assert!(!c.oids.contains(&Oid::new(3)));
+
+        let qo = SetQuery::overlaps(keys(&["c", "z"]));
+        let c = b.candidates(&qo).unwrap();
+        assert!(c.oids.contains(&Oid::new(2)));
+        assert!(!c.oids.contains(&Oid::new(3)));
+    }
+
+    #[test]
+    fn smart_superset_caps_slice_reads() {
+        let (disk, mut b) = bssf(64, 2);
+        for i in 0..20u64 {
+            let set: Vec<ElementKey> = (0..5).map(|j| ElementKey::from(i * 11 + j)).collect();
+            b.insert(Oid::new(i), &set).unwrap();
+        }
+        // Query with 5 elements, smart cap at 2: at most 2·m slices read.
+        let q = SetQuery::has_subset((0..5).map(|j| ElementKey::from(7u64 * 11 + j)).collect());
+        disk.reset_stats();
+        let c = b.candidates_superset_smart(&q, 2).unwrap();
+        assert!(c.oids.contains(&Oid::new(7)));
+        let s = disk.snapshot();
+        assert!(s.reads <= 2 * 2 + 1, "smart read {} pages", s.reads);
+    }
+
+    #[test]
+    fn smart_subset_caps_slice_reads() {
+        let (disk, mut b) = bssf(64, 2);
+        for i in 0..20u64 {
+            b.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        let q = SetQuery::in_subset(vec![ElementKey::from(3u64)]);
+        disk.reset_stats();
+        let c = b.candidates_subset_smart(&q, 10).unwrap();
+        // Sound: the true match is still a drop.
+        assert!(c.oids.contains(&Oid::new(3)));
+        let s = disk.snapshot();
+        assert!(s.reads <= 10 + 1, "smart read {} pages", s.reads);
+    }
+
+    #[test]
+    fn smart_strategies_reject_wrong_predicate() {
+        let (_d, b) = bssf(64, 2);
+        let q_sub = SetQuery::in_subset(keys(&["a"]));
+        let q_sup = SetQuery::has_subset(keys(&["a"]));
+        assert!(b.candidates_superset_smart(&q_sub, 2).is_err());
+        assert!(b.candidates_subset_smart(&q_sup, 2).is_err());
+    }
+
+    #[test]
+    fn deleted_entries_filtered() {
+        let (_d, mut b) = bssf(64, 2);
+        let set = keys(&["Baseball"]);
+        b.insert(Oid::new(1), &set).unwrap();
+        b.insert(Oid::new(2), &set).unwrap();
+        b.delete(Oid::new(1), &set).unwrap();
+        let q = SetQuery::has_subset(set);
+        let c = b.candidates(&q).unwrap();
+        assert!(!c.oids.contains(&Oid::new(1)));
+        assert!(c.oids.contains(&Oid::new(2)));
+    }
+
+    #[test]
+    fn empty_superset_query_matches_everything() {
+        let (_d, mut b) = bssf(64, 2);
+        for i in 0..5u64 {
+            b.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        let q = SetQuery::has_subset(vec![]);
+        assert_eq!(b.candidates(&q).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn rows_spanning_multiple_pages() {
+        // Force > 1 page per slice by inserting past ROWS_PER_PAGE rows...
+        // that is 32768 inserts; instead bulk-load to keep the test fast.
+        let n = ROWS_PER_PAGE + 100;
+        let items: Vec<(Oid, Vec<ElementKey>)> = (0..n)
+            .map(|i| (Oid::new(i), vec![ElementKey::from(i % 97)]))
+            .collect();
+        let (_d, mut b) = bssf(32, 1);
+        b.bulk_load(&items).unwrap();
+        assert_eq!(b.pages_per_slice(), 2);
+        let q = SetQuery::has_subset(vec![ElementKey::from(42u64)]);
+        let c = b.candidates(&q).unwrap();
+        // Every row with i % 97 == 42 must be a drop, including those on
+        // the second page.
+        let expected = (0..n).filter(|i| i % 97 == 42).count();
+        assert!(c.len() >= expected);
+        assert!(c.oids.contains(&Oid::new(ROWS_PER_PAGE + 42 + 97 - (ROWS_PER_PAGE % 97))));
+    }
+
+    #[test]
+    fn storage_pages_counts_slices_and_oids() {
+        let (_d, mut b) = bssf(64, 2);
+        for i in 0..10u64 {
+            b.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        // 64 slices × 1 page + 1 OID page.
+        assert_eq!(b.storage_pages().unwrap(), 65);
+    }
+}
+
+impl Bssf {
+    /// Checkpoints the BSSF's catalog state — design parameters, the OID
+    /// file binding and counters, and all `F` slice file bindings — into
+    /// its meta file (created on first use). Returns the meta file id to
+    /// hand to [`Bssf::open`].
+    pub fn sync_meta(&mut self) -> Result<setsig_pagestore::FileId> {
+        let mut w = crate::meta::MetaWriter::new(b"BSF1");
+        w.u32(self.cfg.f_bits());
+        w.u32(self.cfg.m_weight());
+        w.u64(self.cfg.seed());
+        w.u32(self.oid_file.file().id().raw());
+        let (len, live) = self.oid_file.state();
+        w.u64(len);
+        w.u64(live);
+        for slice in &self.slices {
+            w.u32(slice.id().raw());
+        }
+        let io = Arc::clone(self.oid_file.file().io());
+        crate::meta::checkpoint(&io, &mut self.meta_file, "bssf", &w.finish())
+    }
+
+    /// Reopens a BSSF from the meta file written by [`Bssf::sync_meta`].
+    pub fn open(io: Arc<dyn PageIo>, meta: setsig_pagestore::FileId) -> Result<Self> {
+        let meta_file = PagedFile::open(Arc::clone(&io), meta);
+        let blob = meta_file.read_blob()?;
+        let mut r = crate::meta::MetaReader::new(&blob, b"BSF1")?;
+        let cfg = SignatureConfig::with_seed(r.u32()?, r.u32()?, r.u64()?)?;
+        let oid_id = setsig_pagestore::FileId::from_raw(r.u32()?);
+        let len = r.u64()?;
+        let live = r.u64()?;
+        let slices = (0..cfg.f_bits())
+            .map(|_| Ok(PagedFile::open(Arc::clone(&io), setsig_pagestore::FileId::from_raw(r.u32()?))))
+            .collect::<Result<Vec<_>>>()?;
+        r.done()?;
+        Ok(Bssf {
+            cfg,
+            slices,
+            oid_file: OidFile::reopen(PagedFile::open(io, oid_id), len, live),
+            meta_file: Some(meta_file),
+        })
+    }
+}
+
+#[cfg(test)]
+mod meta_tests {
+    use super::*;
+    use setsig_pagestore::Disk;
+
+    fn keys(elems: &[&str]) -> Vec<ElementKey> {
+        elems.iter().map(ElementKey::from).collect()
+    }
+
+    #[test]
+    fn bssf_reopens_from_saved_image() {
+        let dir = std::env::temp_dir().join(format!("setsig-bssf-meta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.img");
+
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let cfg = SignatureConfig::new(64, 2).unwrap();
+        let mut bssf = Bssf::create(io, "h", cfg).unwrap();
+        bssf.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
+        bssf.insert(Oid::new(2), &keys(&["Tennis"])).unwrap();
+        bssf.delete(Oid::new(2), &keys(&["Tennis"])).unwrap();
+        let meta = bssf.sync_meta().unwrap();
+        disk.save_to(&path).unwrap();
+
+        let loaded = Arc::new(Disk::load_from(&path).unwrap());
+        let io: Arc<dyn PageIo> = Arc::clone(&loaded) as Arc<dyn PageIo>;
+        let reopened = Bssf::open(io, meta).unwrap();
+        assert_eq!(reopened.indexed_count(), 1);
+        let q = SetQuery::has_subset(keys(&["Baseball"]));
+        assert_eq!(
+            reopened.candidates(&q).unwrap().oids,
+            vec![Oid::new(1)],
+            "reopened BSSF answers like the original"
+        );
+        // And it accepts further inserts at the right position.
+        let mut reopened = reopened;
+        reopened.insert(Oid::new(3), &keys(&["Baseball"])).unwrap();
+        let c = reopened.candidates(&q).unwrap();
+        assert_eq!(c.oids, vec![Oid::new(1), Oid::new(3)]);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_foreign_meta() {
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut ssf = crate::Ssf::create(Arc::clone(&io), "s", SignatureConfig::new(64, 2).unwrap()).unwrap();
+        let ssf_meta = ssf.sync_meta().unwrap();
+        assert!(Bssf::open(io, ssf_meta).is_err(), "magic mismatch must fail");
+    }
+}
+
+impl Bssf {
+    /// Appends a batch of entries, touching each slice page **once per
+    /// batch** instead of once per entry: the write-behind buffering a
+    /// production system would use to amortize BSSF's `F + 1` insertion
+    /// cost (§6's open problem).
+    ///
+    /// Cost: one write per *distinct (slice, page)* pair the batch's set
+    /// bits land on (≤ `Σ m_t`, and ≤ `F` per spanned slice page), plus
+    /// `⌈B/O_p⌉` OID-file writes. Equivalent to repeated
+    /// [`insert_signature_sparse`](Self::insert_signature_sparse) in
+    /// contents, far cheaper in page accesses.
+    pub fn insert_batch(&mut self, items: &[(Oid, Vec<ElementKey>)]) -> Result<()> {
+        use std::collections::BTreeMap;
+        let start = self.oid_file.len();
+        // (slice, page) → bits to set within that page.
+        let mut updates: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        let mut oids = Vec::with_capacity(items.len());
+        for (i, (oid, set)) in items.iter().enumerate() {
+            let sig = Signature::for_set(&self.cfg, set);
+            let (page_no, bit) = Self::row_page(start + i as u64);
+            for j in sig.bitmap().iter_ones() {
+                updates.entry((j, page_no)).or_default().push(bit);
+            }
+            oids.push(*oid);
+        }
+        for ((j, page_no), bits) in updates {
+            let staged: Vec<(usize, bool)> = bits.into_iter().map(|b| (b, true)).collect();
+            Self::write_row_bits(&self.slices[j as usize], page_no, &staged)?;
+        }
+        self.oid_file.bulk_append(&oids)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use setsig_pagestore::Disk;
+
+    fn items(n: u64) -> Vec<(Oid, Vec<ElementKey>)> {
+        (0..n)
+            .map(|i| {
+                (Oid::new(i), (0..5u64).map(|j| ElementKey::from(i * 11 + j)).collect())
+            })
+            .collect()
+    }
+
+    fn bssf(disk: &Arc<Disk>) -> Bssf {
+        let io: Arc<dyn PageIo> = Arc::clone(disk) as Arc<dyn PageIo>;
+        Bssf::create(io, "b", SignatureConfig::new(128, 2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn batch_equals_incremental_contents() {
+        let d1 = Arc::new(Disk::new());
+        let d2 = Arc::new(Disk::new());
+        let mut inc = bssf(&d1);
+        let mut bat = bssf(&d2);
+        let all = items(150);
+        for (oid, set) in &all {
+            inc.insert(*oid, set).unwrap();
+        }
+        // Two batches, to exercise appending to a non-empty file.
+        bat.insert_batch(&all[..70]).unwrap();
+        bat.insert_batch(&all[70..]).unwrap();
+        for probe in [0u64, 69, 70, 149] {
+            let q = SetQuery::has_subset(vec![ElementKey::from(probe * 11)]);
+            assert_eq!(inc.candidates(&q).unwrap(), bat.candidates(&q).unwrap());
+        }
+        assert_eq!(bat.indexed_count(), 150);
+    }
+
+    #[test]
+    fn batch_amortizes_writes() {
+        let d1 = Arc::new(Disk::new());
+        let d2 = Arc::new(Disk::new());
+        let mut inc = bssf(&d1);
+        let mut bat = bssf(&d2);
+        let all = items(200);
+        for (oid, set) in &all {
+            inc.insert(*oid, set).unwrap();
+        }
+        bat.insert_batch(&all).unwrap();
+        let inc_writes = d1.snapshot().writes;
+        let bat_writes = d2.snapshot().writes;
+        // Incremental: 200·(F+1) = 25,800. Batched: ≤ F slice pages + 1
+        // OID page = 129.
+        assert_eq!(inc_writes, 200 * 129);
+        assert!(bat_writes <= 129, "batched writes {bat_writes}");
+        // And both answer queries identically (spot check).
+        let q = SetQuery::has_subset(vec![ElementKey::from(55u64)]);
+        assert_eq!(inc.candidates(&q).unwrap(), bat.candidates(&q).unwrap());
+    }
+
+    #[test]
+    fn batch_then_single_insert_positions_align() {
+        let disk = Arc::new(Disk::new());
+        let mut b = bssf(&disk);
+        b.insert_batch(&items(10)).unwrap();
+        b.insert(Oid::new(999), &[ElementKey::from(12345u64)]).unwrap();
+        let q = SetQuery::has_subset(vec![ElementKey::from(12345u64)]);
+        assert!(b.candidates(&q).unwrap().oids.contains(&Oid::new(999)));
+        assert_eq!(b.indexed_count(), 11);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let disk = Arc::new(Disk::new());
+        let mut b = bssf(&disk);
+        b.insert_batch(&[]).unwrap();
+        assert_eq!(b.indexed_count(), 0);
+        assert_eq!(disk.snapshot().writes, 0);
+    }
+}
+
+impl Bssf {
+    /// Rebuilds the BSSF without tombstoned entries, reclaiming both OID
+    /// slots and the stale slice bits deletions leave behind (an extension;
+    /// §4.2 keeps tombstones forever).
+    ///
+    /// Signatures of the survivors are reconstructed from the slice files
+    /// themselves — one pass over all `F` slices — so no access to the
+    /// object store is needed. Returns the number of live entries kept.
+    pub fn compact(&mut self) -> Result<u64> {
+        let live = self.oid_file.scan_live()?;
+        let n = self.oid_file.len();
+        // Row bitmaps per slice, read once each.
+        let io = Arc::clone(self.oid_file.file().io());
+        let mut new_slices: Vec<PagedFile> = Vec::with_capacity(self.slices.len());
+        let rows_per_page = ROWS_PER_PAGE;
+        let new_len = live.len() as u64;
+        let npages = new_len.div_ceil(rows_per_page) as u32;
+        for (j, old) in self.slices.iter().enumerate() {
+            let rows = {
+                // Borrow of self via read_slice_rows needs j only.
+                let _ = old;
+                self.read_slice_rows(j as u32)?
+            };
+            let mut staged: Vec<Page> = (0..npages).map(|_| Page::zeroed()).collect();
+            for (new_pos, &(old_pos, _)) in live.iter().enumerate() {
+                debug_assert!(old_pos < n);
+                if rows.get(old_pos as u32) {
+                    let (page_no, bit) = Self::row_page(new_pos as u64);
+                    staged[page_no as usize].set_bit(bit, true);
+                }
+            }
+            let file = PagedFile::create(Arc::clone(&io), &format!("compacted.s{j}"));
+            for page in &staged {
+                file.append(page)?;
+            }
+            new_slices.push(file);
+        }
+        let mut new_oid = OidFile::create(io, "compacted.oid");
+        new_oid.bulk_append(&live.iter().map(|&(_, oid)| oid).collect::<Vec<_>>())?;
+        self.slices = new_slices;
+        self.oid_file = new_oid;
+        Ok(new_len)
+    }
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+    use setsig_pagestore::Disk;
+
+    #[test]
+    fn compact_preserves_answers_and_drops_tombstones() {
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut b = Bssf::create(io, "b", SignatureConfig::new(64, 2).unwrap()).unwrap();
+        for i in 0..30u64 {
+            b.insert(Oid::new(i), &[ElementKey::from(i % 10)]).unwrap();
+        }
+        for i in 0..10u64 {
+            b.delete(Oid::new(i * 3), &[]).unwrap();
+        }
+        // Ground truth before compaction.
+        let q = SetQuery::has_subset(vec![ElementKey::from(4u64)]);
+        let before = b.candidates(&q).unwrap();
+        let kept = b.compact().unwrap();
+        assert_eq!(kept, 20);
+        assert_eq!(b.indexed_count(), 20);
+        let after = b.candidates(&q).unwrap();
+        assert_eq!(before, after, "answers must survive compaction");
+        // The compacted OID file is denser.
+        assert_eq!(b.oid_file().len(), 20);
+    }
+
+    #[test]
+    fn compact_then_insert_continues_cleanly() {
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut b = Bssf::create(io, "b", SignatureConfig::new(64, 2).unwrap()).unwrap();
+        b.insert(Oid::new(1), &[ElementKey::from(1u64)]).unwrap();
+        b.insert(Oid::new(2), &[ElementKey::from(2u64)]).unwrap();
+        b.delete(Oid::new(1), &[]).unwrap();
+        b.compact().unwrap();
+        b.insert(Oid::new(3), &[ElementKey::from(1u64)]).unwrap();
+        let q = SetQuery::has_subset(vec![ElementKey::from(1u64)]);
+        assert_eq!(b.candidates(&q).unwrap().oids, vec![Oid::new(3)]);
+    }
+}

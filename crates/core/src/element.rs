@@ -1,0 +1,172 @@
+//! Canonical byte representation of set elements.
+
+use crate::oid::Oid;
+
+/// A set element in canonical byte form.
+///
+/// Signature files index *sets of elements*; the elements may be strings
+/// (the paper's `hobbies` attribute), OIDs (the `courses` attribute), or
+/// integers (the synthetic workloads, where the domain is `0..V`). All are
+/// reduced to a canonical byte string so hashing, sorting and exact
+/// verification are uniform:
+///
+/// * integers and OIDs → 8 bytes little-endian, tagged,
+/// * strings / raw bytes → the bytes themselves, tagged.
+///
+/// The one-byte tag prevents cross-type collisions (the string `"\x01\0…"`
+/// can never equal the integer 1).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementKey(Vec<u8>);
+
+const TAG_BYTES: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_OID: u8 = 2;
+
+impl ElementKey {
+    /// Builds a key from raw bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut v = Vec::with_capacity(bytes.len() + 1);
+        v.push(TAG_BYTES);
+        v.extend_from_slice(bytes);
+        ElementKey(v)
+    }
+
+    /// The canonical bytes, including the type tag. This is what gets
+    /// hashed into bit positions and compared during drop resolution.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// An 8-byte digest of the key, used by the nested index as its fixed-
+    /// width B-tree key (the paper's `kl = 8` bytes, Table 4).
+    ///
+    /// For integer and OID elements the digest is the value itself, so the
+    /// index is exact on the synthetic workloads; for strings it is a hash,
+    /// making string-keyed NIX lookups exact up to 64-bit collisions.
+    pub fn digest8(&self) -> u64 {
+        match self.0.first() {
+            Some(&TAG_INT) | Some(&TAG_OID) => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&self.0[1..9]);
+                u64::from_le_bytes(b)
+            }
+            _ => crate::hash::element_hash(&self.0, 0x6e1_57ed),
+        }
+    }
+}
+
+impl From<&str> for ElementKey {
+    fn from(s: &str) -> Self {
+        ElementKey::from_bytes(s.as_bytes())
+    }
+}
+
+impl From<&&str> for ElementKey {
+    fn from(s: &&str) -> Self {
+        ElementKey::from_bytes(s.as_bytes())
+    }
+}
+
+impl From<String> for ElementKey {
+    fn from(s: String) -> Self {
+        ElementKey::from_bytes(s.as_bytes())
+    }
+}
+
+impl From<u64> for ElementKey {
+    fn from(v: u64) -> Self {
+        let mut bytes = Vec::with_capacity(9);
+        bytes.push(TAG_INT);
+        bytes.extend_from_slice(&v.to_le_bytes());
+        ElementKey(bytes)
+    }
+}
+
+impl From<Oid> for ElementKey {
+    fn from(oid: Oid) -> Self {
+        let mut bytes = Vec::with_capacity(9);
+        bytes.push(TAG_OID);
+        bytes.extend_from_slice(&oid.raw().to_le_bytes());
+        ElementKey(bytes)
+    }
+}
+
+impl std::fmt::Debug for ElementKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.split_first() {
+            Some((&TAG_BYTES, rest)) => match std::str::from_utf8(rest) {
+                Ok(s) => write!(f, "Elem({s:?})"),
+                Err(_) => write!(f, "Elem({} bytes)", rest.len()),
+            },
+            Some((&TAG_INT, rest)) => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(rest);
+                write!(f, "Elem({})", u64::from_le_bytes(b))
+            }
+            Some((&TAG_OID, rest)) => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(rest);
+                write!(f, "Elem(oid:{})", u64::from_le_bytes(b))
+            }
+            _ => write!(f, "Elem(<empty>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_keys_never_collide() {
+        let s = ElementKey::from_bytes(&1u64.to_le_bytes());
+        let i = ElementKey::from(1u64);
+        let o = ElementKey::from(Oid::new(1));
+        assert_ne!(s, i);
+        assert_ne!(i, o);
+        assert_ne!(s, o);
+    }
+
+    #[test]
+    fn string_conversions_agree() {
+        let a = ElementKey::from("Baseball");
+        let b = ElementKey::from(String::from("Baseball"));
+        let c = ElementKey::from_bytes(b"Baseball");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn digest8_is_identity_for_ints_and_oids() {
+        assert_eq!(ElementKey::from(12345u64).digest8(), 12345);
+        assert_eq!(ElementKey::from(Oid::new(7)).digest8(), 7);
+    }
+
+    #[test]
+    fn digest8_for_strings_is_stable_and_spread() {
+        let a = ElementKey::from("Baseball").digest8();
+        let b = ElementKey::from("Baseball").digest8();
+        let c = ElementKey::from("Fishing").digest8();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            ElementKey::from(2u64),
+            ElementKey::from("a"),
+            ElementKey::from(1u64),
+        ];
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn debug_renders_readably() {
+        assert_eq!(format!("{:?}", ElementKey::from("x")), "Elem(\"x\")");
+        assert_eq!(format!("{:?}", ElementKey::from(3u64)), "Elem(3)");
+        assert_eq!(format!("{:?}", ElementKey::from(Oid::new(3))), "Elem(oid:3)");
+    }
+}

@@ -1,0 +1,92 @@
+//! The common interface of set access facilities.
+
+use crate::element::ElementKey;
+use crate::error::Result;
+use crate::oid::Oid;
+use crate::query::SetQuery;
+
+/// The candidate objects (*drops*) produced by the filtering stage of a set
+/// access facility, before false-drop resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSet {
+    /// Candidate OIDs, deduplicated, in ascending order.
+    pub oids: Vec<Oid>,
+    /// Whether the candidates are *exact* (already known to satisfy the
+    /// predicate, no resolution needed). Signature files always return
+    /// `false`; the nested index returns `true` for `T ⊇ Q` (an OID-list
+    /// intersection proves the predicate) and `false` for `T ⊆ Q`.
+    pub exact: bool,
+}
+
+impl CandidateSet {
+    /// Creates a candidate set, sorting and deduplicating the OIDs.
+    pub fn new(mut oids: Vec<Oid>, exact: bool) -> Self {
+        oids.sort_unstable();
+        oids.dedup();
+        CandidateSet { oids, exact }
+    }
+
+    /// Number of drops.
+    pub fn len(&self) -> usize {
+        self.oids.len()
+    }
+
+    /// True when no candidate survived the filter.
+    pub fn is_empty(&self) -> bool {
+        self.oids.is_empty()
+    }
+}
+
+/// A *set access facility* (the paper's term): an auxiliary structure that,
+/// given a set predicate, produces candidate objects far cheaper than a
+/// database scan.
+///
+/// Implemented by [`Ssf`](crate::Ssf), [`Bssf`](crate::Bssf), and the nested
+/// index `Nix` in `setsig-nix`. The contract is **no false negatives**:
+/// every object whose stored set satisfies the predicate must appear in the
+/// candidates.
+pub trait SetAccessFacility {
+    /// Short organization name ("SSF", "BSSF", "NIX") used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Indexes `set` as the set-attribute value of object `oid`.
+    ///
+    /// Duplicate elements are tolerated and deduplicated; the paper's model
+    /// assumes each object is inserted once.
+    fn insert(&mut self, oid: Oid, set: &[ElementKey]) -> Result<()>;
+
+    /// Removes object `oid` (whose indexed value was `set`) from the
+    /// facility.
+    fn delete(&mut self, oid: Oid, set: &[ElementKey]) -> Result<()>;
+
+    /// Runs the filtering stage for `query`, returning the drops.
+    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet>;
+
+    /// Number of objects currently indexed.
+    fn indexed_count(&self) -> u64;
+
+    /// Pages occupied by the facility — the measured counterpart of the
+    /// paper's storage cost `SC`.
+    fn storage_pages(&self) -> Result<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_set_sorts_and_dedups() {
+        let c = CandidateSet::new(vec![Oid::new(3), Oid::new(1), Oid::new(3)], false);
+        assert_eq!(c.oids, vec![Oid::new(1), Oid::new(3)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(!c.exact);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let c = CandidateSet::new(vec![], true);
+        assert!(c.is_empty());
+        assert!(c.exact);
+    }
+}

@@ -1,0 +1,373 @@
+//! The OID file: position → OID mapping shared by SSF and BSSF.
+//!
+//! Both signature file organizations identify a matching entry by its
+//! *position* (row number). The OID file translates positions to object
+//! identifiers: entry `p` lives at page `p / O_p`, offset `(p mod O_p) · 8`,
+//! with `O_p = ⌊P/oid⌋ = 512` entries per page — exactly the paper's layout,
+//! giving `SC_OID = ⌈N/O_p⌉` pages (63 for N = 32,000).
+//!
+//! Deletion follows §4.1: a **delete flag** is set in the OID file entry
+//! (we use the top bit of the 8-byte word, which is why OIDs are 63-bit).
+//! Locating the entry for an OID requires a sequential scan — expected
+//! `SC_OID/2` page reads, the paper's `UC_D`.
+
+use setsig_pagestore::{PagedFile, PageIo, PAGE_SIZE};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::oid::Oid;
+
+/// Bytes per OID entry (the paper's `oid = 8`).
+pub const OID_ENTRY_BYTES: usize = 8;
+
+/// Entries per page (the paper's `O_p = 512`).
+pub const OIDS_PER_PAGE: u64 = (PAGE_SIZE / OID_ENTRY_BYTES) as u64;
+
+const TOMBSTONE_BIT: u64 = 1 << 63;
+
+/// A positional OID file.
+pub struct OidFile {
+    file: PagedFile,
+    len: u64,
+    live: u64,
+}
+
+impl OidFile {
+    /// Creates an empty OID file named `name` on `io`.
+    pub fn create(io: Arc<dyn PageIo>, name: &str) -> Self {
+        OidFile { file: PagedFile::create(io, name), len: 0, live: 0 }
+    }
+
+    /// Number of entries ever appended (including tombstoned ones) — the
+    /// paper's `N` once the database is built.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no entry was ever appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live (non-tombstoned) entries.
+    pub fn live_count(&self) -> u64 {
+        self.live
+    }
+
+    /// Pages occupied — the paper's `SC_OID`.
+    pub fn storage_pages(&self) -> Result<u32> {
+        Ok(self.file.len()?)
+    }
+
+    /// The underlying paged file.
+    pub fn file(&self) -> &PagedFile {
+        &self.file
+    }
+
+    fn page_of(pos: u64) -> u32 {
+        (pos / OIDS_PER_PAGE) as u32
+    }
+
+    fn offset_of(pos: u64) -> usize {
+        (pos % OIDS_PER_PAGE) as usize * OID_ENTRY_BYTES
+    }
+
+    /// Appends an OID at the end, returning its position.
+    ///
+    /// Costs exactly **one page write**: a new tail page when the previous
+    /// one is full, otherwise an in-place update of the tail page — the OID
+    /// file half of the paper's `UC_I = 2` for SSF.
+    pub fn append(&mut self, oid: Oid) -> Result<u64> {
+        let pos = self.len;
+        let page_no = Self::page_of(pos);
+        let off = Self::offset_of(pos);
+        if pos.is_multiple_of(OIDS_PER_PAGE) {
+            let mut page = setsig_pagestore::Page::zeroed();
+            page.write_u64(off, oid.raw());
+            let appended = self.file.append(&page)?;
+            debug_assert_eq!(appended, page_no);
+        } else {
+            // Blind in-place update of the known tail slot: one write.
+            self.file.update(page_no, |page| page.write_u64(off, oid.raw()))?;
+        }
+        self.len += 1;
+        self.live += 1;
+        Ok(pos)
+    }
+
+    /// Reads the entry at `pos`: `Ok(Some(oid))` when live, `Ok(None)` when
+    /// tombstoned. Costs one page read.
+    pub fn get(&self, pos: u64) -> Result<Option<Oid>> {
+        if pos >= self.len {
+            return Err(Error::NoSuchEntry(pos));
+        }
+        let page = self.file.read(Self::page_of(pos))?;
+        let raw = page.read_u64(Self::offset_of(pos));
+        Ok(if raw & TOMBSTONE_BIT != 0 { None } else { Some(Oid::new(raw)) })
+    }
+
+    /// Resolves a **sorted** list of positions to live OIDs, skipping
+    /// tombstones, reading each touched page exactly once.
+    ///
+    /// This is the paper's OID-file look-up step; its measured cost is
+    /// `LC_OID` (one read per OID-file page containing at least one
+    /// candidate, capped at `SC_OID`).
+    pub fn lookup_positions(&self, positions: &[u64]) -> Result<Vec<(u64, Oid)>> {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions must be sorted+unique");
+        let mut out = Vec::with_capacity(positions.len());
+        let mut i = 0;
+        while i < positions.len() {
+            let pos = positions[i];
+            if pos >= self.len {
+                return Err(Error::NoSuchEntry(pos));
+            }
+            let page_no = Self::page_of(pos);
+            let page = self.file.read(page_no)?;
+            while i < positions.len() && Self::page_of(positions[i]) == page_no {
+                let p = positions[i];
+                if p >= self.len {
+                    return Err(Error::NoSuchEntry(p));
+                }
+                let raw = page.read_u64(Self::offset_of(p));
+                if raw & TOMBSTONE_BIT == 0 {
+                    out.push((p, Oid::new(raw)));
+                }
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sets the delete flag at `pos`. Costs one page read + one page write.
+    pub fn mark_deleted_at(&mut self, pos: u64) -> Result<()> {
+        if pos >= self.len {
+            return Err(Error::NoSuchEntry(pos));
+        }
+        let off = Self::offset_of(pos);
+        let mut was_live = false;
+        self.file.modify(Self::page_of(pos), |page| {
+            let raw = page.read_u64(off);
+            was_live = raw & TOMBSTONE_BIT == 0;
+            page.write_u64(off, raw | TOMBSTONE_BIT);
+        })?;
+        if was_live {
+            self.live -= 1;
+        }
+        Ok(())
+    }
+
+    /// Finds the live entry holding `oid` by sequential scan and tombstones
+    /// it, returning its position.
+    ///
+    /// Measured cost: the scan reads pages until the entry is found
+    /// (expected `SC_OID/2`, the paper's `UC_D`), plus one write for the
+    /// flag.
+    pub fn delete_by_oid(&mut self, oid: Oid) -> Result<u64> {
+        let npages = self.file.len()?;
+        for page_no in 0..npages {
+            let page = self.file.read(page_no)?;
+            let base = page_no as u64 * OIDS_PER_PAGE;
+            let slots = (self.len - base).min(OIDS_PER_PAGE) as usize;
+            for s in 0..slots {
+                let raw = page.read_u64(s * OID_ENTRY_BYTES);
+                if raw == oid.raw() {
+                    let pos = base + s as u64;
+                    // One write to set the flag; the page is already in
+                    // hand so a real system would not re-read it, but we
+                    // route through write() to charge exactly one write.
+                    let mut p = page.clone();
+                    p.write_u64(s * OID_ENTRY_BYTES, raw | TOMBSTONE_BIT);
+                    self.file.write(page_no, &p)?;
+                    self.live -= 1;
+                    return Ok(pos);
+                }
+            }
+        }
+        Err(Error::OidNotFound(oid))
+    }
+
+    /// Iterates `(position, oid)` for all live entries, reading each page
+    /// once. Used by compaction and integrity checks.
+    pub fn scan_live(&self) -> Result<Vec<(u64, Oid)>> {
+        let npages = self.file.len()?;
+        let mut out = Vec::with_capacity(self.live as usize);
+        for page_no in 0..npages {
+            let page = self.file.read(page_no)?;
+            let base = page_no as u64 * OIDS_PER_PAGE;
+            let slots = (self.len - base).min(OIDS_PER_PAGE) as usize;
+            for s in 0..slots {
+                let raw = page.read_u64(s * OID_ENTRY_BYTES);
+                if raw & TOMBSTONE_BIT == 0 {
+                    out.push((base + s as u64, Oid::new(raw)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for OidFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OidFile {{ len: {}, live: {} }}", self.len, self.live)
+    }
+}
+
+impl OidFile {
+    /// Appends many OIDs at once, writing each touched page exactly once.
+    ///
+    /// This is the bulk-load path used when building a database: `⌈n/O_p⌉`
+    /// page writes instead of one write per OID.
+    pub fn bulk_append(&mut self, oids: &[Oid]) -> Result<u64> {
+        let first_pos = self.len;
+        let mut i = 0usize;
+        while i < oids.len() {
+            let pos = self.len;
+            let page_no = Self::page_of(pos);
+            let start_slot = (pos % OIDS_PER_PAGE) as usize;
+            let take = ((OIDS_PER_PAGE as usize) - start_slot).min(oids.len() - i);
+            let chunk = &oids[i..i + take];
+            if start_slot == 0 {
+                let mut page = setsig_pagestore::Page::zeroed();
+                for (s, oid) in chunk.iter().enumerate() {
+                    page.write_u64(s * OID_ENTRY_BYTES, oid.raw());
+                }
+                self.file.append(&page)?;
+            } else {
+                self.file.update(page_no, |page| {
+                    for (s, oid) in chunk.iter().enumerate() {
+                        page.write_u64((start_slot + s) * OID_ENTRY_BYTES, oid.raw());
+                    }
+                })?;
+            }
+            self.len += take as u64;
+            self.live += take as u64;
+            i += take;
+        }
+        Ok(first_pos)
+    }
+}
+
+impl OidFile {
+    /// Reconstructs an OID file from its backing file and checkpointed
+    /// counters (see the facility `sync_meta`/`open` pairs).
+    pub fn reopen(file: PagedFile, len: u64, live: u64) -> Self {
+        OidFile { file, len, live }
+    }
+
+    /// The counters a catalog checkpoint must persist.
+    pub fn state(&self) -> (u64, u64) {
+        (self.len, self.live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setsig_pagestore::Disk;
+
+    fn oidfile() -> (Arc<Disk>, OidFile) {
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        (disk, OidFile::create(io, "oids"))
+    }
+
+    #[test]
+    fn append_and_get() {
+        let (_d, mut f) = oidfile();
+        for i in 0..10u64 {
+            assert_eq!(f.append(Oid::new(i * 7)).unwrap(), i);
+        }
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.live_count(), 10);
+        assert_eq!(f.get(3).unwrap(), Some(Oid::new(21)));
+        assert!(f.get(10).is_err());
+    }
+
+    #[test]
+    fn append_costs_one_write() {
+        let (disk, mut f) = oidfile();
+        // First append creates the page.
+        let before = disk.snapshot();
+        f.append(Oid::new(1)).unwrap();
+        let d = disk.snapshot().since(before);
+        assert_eq!((d.reads, d.writes), (0, 1));
+        // Subsequent appends blind-update the tail page.
+        let before = disk.snapshot();
+        f.append(Oid::new(2)).unwrap();
+        let d = disk.snapshot().since(before);
+        assert_eq!((d.reads, d.writes), (0, 1));
+    }
+
+    #[test]
+    fn page_boundary_allocates_new_page() {
+        let (_d, mut f) = oidfile();
+        for i in 0..OIDS_PER_PAGE + 1 {
+            f.append(Oid::new(i)).unwrap();
+        }
+        assert_eq!(f.storage_pages().unwrap(), 2);
+        assert_eq!(f.get(OIDS_PER_PAGE).unwrap(), Some(Oid::new(OIDS_PER_PAGE)));
+        assert_eq!(f.get(OIDS_PER_PAGE - 1).unwrap(), Some(Oid::new(OIDS_PER_PAGE - 1)));
+    }
+
+    #[test]
+    fn lookup_positions_batches_page_reads() {
+        let (disk, mut f) = oidfile();
+        for i in 0..OIDS_PER_PAGE * 2 {
+            f.append(Oid::new(i)).unwrap();
+        }
+        disk.reset_stats();
+        // Four positions on page 0, one on page 1: exactly 2 page reads.
+        let got = f.lookup_positions(&[0, 1, 2, 3, OIDS_PER_PAGE]).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(disk.snapshot().reads, 2);
+        assert_eq!(got[4], (OIDS_PER_PAGE, Oid::new(OIDS_PER_PAGE)));
+    }
+
+    #[test]
+    fn tombstones_are_skipped() {
+        let (_d, mut f) = oidfile();
+        for i in 0..5u64 {
+            f.append(Oid::new(i)).unwrap();
+        }
+        f.mark_deleted_at(2).unwrap();
+        assert_eq!(f.live_count(), 4);
+        assert_eq!(f.get(2).unwrap(), None);
+        let got = f.lookup_positions(&[1, 2, 3]).unwrap();
+        assert_eq!(got, vec![(1, Oid::new(1)), (3, Oid::new(3))]);
+        // Double delete is idempotent.
+        f.mark_deleted_at(2).unwrap();
+        assert_eq!(f.live_count(), 4);
+    }
+
+    #[test]
+    fn delete_by_oid_scans_and_flags() {
+        let (disk, mut f) = oidfile();
+        for i in 0..OIDS_PER_PAGE + 10 {
+            f.append(Oid::new(i)).unwrap();
+        }
+        disk.reset_stats();
+        // Entry on the second page: scan reads 2 pages, then 1 write.
+        let pos = f.delete_by_oid(Oid::new(OIDS_PER_PAGE + 5)).unwrap();
+        assert_eq!(pos, OIDS_PER_PAGE + 5);
+        let d = disk.snapshot();
+        assert_eq!((d.reads, d.writes), (2, 1));
+        assert_eq!(f.get(pos).unwrap(), None);
+        // Deleting an absent OID reports OidNotFound.
+        assert!(matches!(f.delete_by_oid(Oid::new(999_999)), Err(Error::OidNotFound(_))));
+    }
+
+    #[test]
+    fn scan_live_returns_survivors_in_order() {
+        let (_d, mut f) = oidfile();
+        for i in 0..6u64 {
+            f.append(Oid::new(i * 10)).unwrap();
+        }
+        f.mark_deleted_at(0).unwrap();
+        f.mark_deleted_at(4).unwrap();
+        let live = f.scan_live().unwrap();
+        assert_eq!(
+            live,
+            vec![(1, Oid::new(10)), (2, Oid::new(20)), (3, Oid::new(30)), (5, Oid::new(50))]
+        );
+    }
+}

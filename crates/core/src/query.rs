@@ -1,0 +1,186 @@
+//! Set predicates and queries.
+
+use crate::config::SignatureConfig;
+use crate::element::ElementKey;
+use crate::signature::Signature;
+
+/// The set comparison operators of §2.
+///
+/// The paper analyzes [`HasSubset`](SetPredicate::HasSubset) (`T ⊇ Q`) and
+/// [`InSubset`](SetPredicate::InSubset) (`T ⊆ Q`) in depth and lists the
+/// others as variations; all five are implemented here (equality, overlap
+/// and membership are the "other set operations" named as further work in
+/// §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetPredicate {
+    /// `target ⊇ query` — the query's `has-subset`. Query Q1 of the paper.
+    HasSubset,
+    /// `target ⊆ query` — the query's `in-subset`. Query Q2 of the paper.
+    InSubset,
+    /// `target = query` — set equality.
+    Equals,
+    /// `target ∩ query ≠ ∅` — the overlap operator.
+    Overlaps,
+    /// `element ∈ target` — membership; a singleton `HasSubset`.
+    Contains,
+}
+
+impl SetPredicate {
+    /// The paper's notation for the predicate.
+    pub fn notation(self) -> &'static str {
+        match self {
+            SetPredicate::HasSubset => "T ⊇ Q",
+            SetPredicate::InSubset => "T ⊆ Q",
+            SetPredicate::Equals => "T = Q",
+            SetPredicate::Overlaps => "T ∩ Q ≠ ∅",
+            SetPredicate::Contains => "e ∈ T",
+        }
+    }
+}
+
+impl std::fmt::Display for SetPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.notation())
+    }
+}
+
+/// A set query: a predicate plus the query set `Q`.
+///
+/// The query set is stored deduplicated and sorted, so `d_q = elements.len()`
+/// is the paper's query cardinality `D_q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetQuery {
+    /// The comparison operator.
+    pub predicate: SetPredicate,
+    /// The query set `Q`, deduplicated, in canonical order.
+    pub elements: Vec<ElementKey>,
+}
+
+impl SetQuery {
+    /// Creates a query, deduplicating and sorting the elements.
+    pub fn new(predicate: SetPredicate, mut elements: Vec<ElementKey>) -> Self {
+        elements.sort_unstable();
+        elements.dedup();
+        SetQuery { predicate, elements }
+    }
+
+    /// `T ⊇ Q` — "find objects whose set includes all of `elements`".
+    pub fn has_subset(elements: Vec<ElementKey>) -> Self {
+        SetQuery::new(SetPredicate::HasSubset, elements)
+    }
+
+    /// `T ⊆ Q` — "find objects whose set is contained in `elements`".
+    pub fn in_subset(elements: Vec<ElementKey>) -> Self {
+        SetQuery::new(SetPredicate::InSubset, elements)
+    }
+
+    /// `T = Q`.
+    pub fn equals(elements: Vec<ElementKey>) -> Self {
+        SetQuery::new(SetPredicate::Equals, elements)
+    }
+
+    /// `T ∩ Q ≠ ∅`.
+    pub fn overlaps(elements: Vec<ElementKey>) -> Self {
+        SetQuery::new(SetPredicate::Overlaps, elements)
+    }
+
+    /// `element ∈ T`.
+    pub fn contains(element: ElementKey) -> Self {
+        SetQuery::new(SetPredicate::Contains, vec![element])
+    }
+
+    /// Query cardinality `D_q`.
+    pub fn d_q(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The query signature under `cfg`.
+    pub fn signature(&self, cfg: &SignatureConfig) -> Signature {
+        Signature::for_set(cfg, &self.elements)
+    }
+
+    /// Whether a **target signature** is a drop for this query — the
+    /// signature-level filter of §3.1, extended to all five operators.
+    pub fn signature_matches(
+        &self,
+        cfg: &SignatureConfig,
+        target: &Signature,
+        query_sig: &Signature,
+    ) -> bool {
+        match self.predicate {
+            SetPredicate::HasSubset | SetPredicate::Contains => {
+                target.matches_superset_of(query_sig)
+            }
+            SetPredicate::InSubset => target.matches_subset_of(query_sig),
+            SetPredicate::Equals => target.matches_equals(query_sig),
+            SetPredicate::Overlaps => target.matches_overlaps(query_sig, cfg.m_weight()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(elems: &[&str]) -> Vec<ElementKey> {
+        elems.iter().map(ElementKey::from).collect()
+    }
+
+    #[test]
+    fn query_deduplicates_and_sorts() {
+        let q = SetQuery::has_subset(keys(&["b", "a", "b"]));
+        assert_eq!(q.d_q(), 2);
+        assert_eq!(q.elements, keys(&["a", "b"]));
+    }
+
+    #[test]
+    fn constructors_set_predicates() {
+        assert_eq!(SetQuery::has_subset(vec![]).predicate, SetPredicate::HasSubset);
+        assert_eq!(SetQuery::in_subset(vec![]).predicate, SetPredicate::InSubset);
+        assert_eq!(SetQuery::equals(vec![]).predicate, SetPredicate::Equals);
+        assert_eq!(SetQuery::overlaps(vec![]).predicate, SetPredicate::Overlaps);
+        let c = SetQuery::contains(ElementKey::from("x"));
+        assert_eq!(c.predicate, SetPredicate::Contains);
+        assert_eq!(c.d_q(), 1);
+    }
+
+    #[test]
+    fn notation_strings() {
+        assert_eq!(SetPredicate::HasSubset.to_string(), "T ⊇ Q");
+        assert_eq!(SetPredicate::InSubset.to_string(), "T ⊆ Q");
+    }
+
+    #[test]
+    fn signature_filter_is_sound_for_all_predicates() {
+        // For each predicate: a target that truly satisfies it must be a
+        // signature-level drop (no false negatives).
+        let cfg = SignatureConfig::new(128, 3).unwrap();
+        let target_set = keys(&["Baseball", "Fishing"]);
+        let target_sig = Signature::for_set(&cfg, &target_set);
+
+        let cases = vec![
+            SetQuery::has_subset(keys(&["Baseball"])),
+            SetQuery::in_subset(keys(&["Baseball", "Fishing", "Tennis"])),
+            SetQuery::equals(keys(&["Fishing", "Baseball"])),
+            SetQuery::overlaps(keys(&["Fishing", "Chess"])),
+            SetQuery::contains(ElementKey::from("Fishing")),
+        ];
+        for q in cases {
+            let qs = q.signature(&cfg);
+            assert!(
+                q.signature_matches(&cfg, &target_sig, &qs),
+                "predicate {} missed a true match",
+                q.predicate
+            );
+        }
+    }
+
+    #[test]
+    fn superset_filter_rejects_obvious_nonmatch() {
+        let cfg = SignatureConfig::new(256, 3).unwrap();
+        let target = Signature::for_set(&cfg, &keys(&["Swimming"]));
+        let q = SetQuery::has_subset(keys(&["Chess", "Running", "Skiing"]));
+        let qs = q.signature(&cfg);
+        assert!(!q.signature_matches(&cfg, &target, &qs));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests on the signature layer and the two organizations.
+
+use proptest::prelude::*;
+use setsig_core::{
+    Bitmap, Bssf, ElementKey, Oid, SetAccessFacility, SetQuery, Signature, SignatureConfig, Ssf,
+};
+use setsig_pagestore::{Disk, PageIo};
+use std::sync::Arc;
+
+fn keys(v: &[u64]) -> Vec<ElementKey> {
+    v.iter().map(|&e| ElementKey::from(e)).collect()
+}
+
+proptest! {
+    /// Bitmap::covers is exactly "set of one-positions is a superset".
+    #[test]
+    fn covers_equals_position_superset(
+        a in proptest::collection::btree_set(0u32..96, 0..20),
+        b in proptest::collection::btree_set(0u32..96, 0..20),
+    ) {
+        let ba = Bitmap::from_positions(96, &a.iter().copied().collect::<Vec<_>>());
+        let bb = Bitmap::from_positions(96, &b.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(ba.covers(&bb), b.is_subset(&a));
+        prop_assert_eq!(ba.intersects(&bb), !a.is_disjoint(&b));
+    }
+
+    /// Bitmap byte serialization round-trips for arbitrary widths.
+    #[test]
+    fn bitmap_bytes_roundtrip(
+        nbits in 1u32..300,
+        seed_positions in proptest::collection::vec(0u32..300, 0..40),
+    ) {
+        let positions: Vec<u32> = seed_positions.into_iter().filter(|&p| p < nbits).collect();
+        let bm = Bitmap::from_positions(nbits, &positions);
+        let back = Bitmap::from_bytes(nbits, &bm.to_bytes());
+        prop_assert_eq!(back, bm);
+    }
+
+    /// Superimposed coding is sound: if T ⊇ Q as sets then the signatures
+    /// match, for any F, m, and sets — the no-false-negative guarantee.
+    #[test]
+    fn superset_signature_never_misses(
+        f_exp in 3u32..9,            // F in 8..256
+        m in 1u32..6,
+        target in proptest::collection::btree_set(0u64..1000, 1..20),
+        extra_query_from_target in proptest::collection::vec(0usize..20, 1..10),
+    ) {
+        let f = 1u32 << f_exp;
+        let cfg = SignatureConfig::new(f, m.min(f)).unwrap();
+        let telems: Vec<u64> = target.iter().copied().collect();
+        // Query = arbitrary subset of the target.
+        let qelems: Vec<u64> = extra_query_from_target
+            .iter()
+            .map(|&i| telems[i % telems.len()])
+            .collect();
+        let tsig = Signature::for_set(&cfg, &keys(&telems));
+        let qsig = Signature::for_set(&cfg, &keys(&qelems));
+        prop_assert!(tsig.matches_superset_of(&qsig));
+        // And symmetrically T ⊆ (T ∪ anything).
+        let mut superset = telems.clone();
+        superset.extend_from_slice(&qelems);
+        superset.push(9999);
+        let ssig = Signature::for_set(&cfg, &keys(&superset));
+        prop_assert!(tsig.matches_subset_of(&ssig));
+    }
+
+    /// SSF and BSSF are different physical layouts of the same logical
+    /// filter: identical candidates for every query type.
+    #[test]
+    fn ssf_and_bssf_agree(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..60, 1..6), 1..25),
+        qset in proptest::collection::btree_set(0u64..60, 1..6),
+        pred in 0u8..4,
+    ) {
+        let cfg = SignatureConfig::new(64, 2).unwrap();
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut ssf = Ssf::create(Arc::clone(&io), "s", cfg).unwrap();
+        let mut bssf = Bssf::create(io, "b", cfg).unwrap();
+        for (i, set) in sets.iter().enumerate() {
+            let elems = keys(&set.iter().copied().collect::<Vec<_>>());
+            ssf.insert(Oid::new(i as u64), &elems).unwrap();
+            bssf.insert(Oid::new(i as u64), &elems).unwrap();
+        }
+        let qelems = keys(&qset.iter().copied().collect::<Vec<_>>());
+        let query = match pred {
+            0 => SetQuery::has_subset(qelems),
+            1 => SetQuery::in_subset(qelems),
+            2 => SetQuery::equals(qelems),
+            _ => SetQuery::overlaps(qelems),
+        };
+        prop_assert_eq!(
+            ssf.candidates(&query).unwrap(),
+            bssf.candidates(&query).unwrap()
+        );
+    }
+
+    /// End-to-end soundness on both organizations: every object whose set
+    /// truly satisfies the predicate appears among the candidates.
+    #[test]
+    fn facilities_have_no_false_negatives(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..40, 1..8), 1..30),
+        query_raw in proptest::collection::btree_set(0u64..40, 1..8),
+    ) {
+        let cfg = SignatureConfig::new(128, 3).unwrap();
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut ssf = Ssf::create(Arc::clone(&io), "s", cfg).unwrap();
+        let mut bssf = Bssf::create(io, "b", cfg).unwrap();
+        for (i, set) in sets.iter().enumerate() {
+            let elems = keys(&set.iter().copied().collect::<Vec<_>>());
+            ssf.insert(Oid::new(i as u64), &elems).unwrap();
+            bssf.insert(Oid::new(i as u64), &elems).unwrap();
+        }
+        let q_sup = SetQuery::has_subset(keys(&query_raw.iter().copied().collect::<Vec<_>>()));
+        let q_sub = SetQuery::in_subset(keys(&query_raw.iter().copied().collect::<Vec<_>>()));
+        let sup_ssf = ssf.candidates(&q_sup).unwrap();
+        let sup_bssf = bssf.candidates(&q_sup).unwrap();
+        let sub_ssf = ssf.candidates(&q_sub).unwrap();
+        let sub_bssf = bssf.candidates(&q_sub).unwrap();
+        for (i, set) in sets.iter().enumerate() {
+            let oid = Oid::new(i as u64);
+            if query_raw.is_subset(set) {
+                prop_assert!(sup_ssf.oids.contains(&oid), "SSF missed ⊇ match {i}");
+                prop_assert!(sup_bssf.oids.contains(&oid), "BSSF missed ⊇ match {i}");
+            }
+            if set.is_subset(&query_raw) {
+                prop_assert!(sub_ssf.oids.contains(&oid), "SSF missed ⊆ match {i}");
+                prop_assert!(sub_bssf.oids.contains(&oid), "BSSF missed ⊆ match {i}");
+            }
+        }
+    }
+
+    /// Smart strategies are relaxations: their candidate sets contain the
+    /// plain strategy's candidates (they only ever read fewer slices).
+    #[test]
+    fn smart_strategies_are_supersets_of_plain(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..40, 1..6), 1..20),
+        query_raw in proptest::collection::btree_set(0u64..40, 2..8),
+        cap in 1usize..4,
+    ) {
+        let cfg = SignatureConfig::new(64, 2).unwrap();
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut bssf = Bssf::create(io, "b", cfg).unwrap();
+        for (i, set) in sets.iter().enumerate() {
+            bssf.insert(Oid::new(i as u64), &keys(&set.iter().copied().collect::<Vec<_>>())).unwrap();
+        }
+        let qelems = keys(&query_raw.iter().copied().collect::<Vec<_>>());
+        let q_sup = SetQuery::has_subset(qelems.clone());
+        let plain = bssf.candidates(&q_sup).unwrap();
+        let smart = bssf.candidates_superset_smart(&q_sup, cap).unwrap();
+        for oid in &plain.oids {
+            prop_assert!(smart.oids.contains(oid));
+        }
+        let q_sub = SetQuery::in_subset(qelems);
+        let plain = bssf.candidates(&q_sub).unwrap();
+        let smart = bssf.candidates_subset_smart(&q_sub, cap * 8).unwrap();
+        for oid in &plain.oids {
+            prop_assert!(smart.oids.contains(oid));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Actual drop estimation (§4.4 and Appendices A–B).
+//!
+//! Target sets are `D_t` elements drawn uniformly without replacement from a
+//! `V`-element domain, so "how many objects truly satisfy the predicate" is
+//! hypergeometric counting.
+
+use crate::math::ln_binomial;
+use crate::params::Params;
+
+/// Actual drops `A` for `T ⊇ Q` (§4.4): the expected number of targets
+/// containing all `D_q` query elements,
+/// `A = N · C(V−D_q, D_t−D_q) / C(V, D_t)`.
+///
+/// Zero when `D_q > D_t` (a larger query can't be contained).
+pub fn actual_drops_superset(params: &Params, d_t: u32, d_q: u32) -> f64 {
+    objects_sharing_all_of(params, d_t, d_q)
+}
+
+/// Expected number of objects whose target set contains `j` *given*
+/// elements: `N · C(V−j, D_t−j) / C(V, D_t)`.
+///
+/// `j = D_q` gives the ⊇ actual drops; `j = 2` prices the intersection in
+/// the smart NIX strategy (§5.1.3).
+pub fn objects_sharing_all_of(params: &Params, d_t: u32, j: u32) -> f64 {
+    if j > d_t {
+        return 0.0;
+    }
+    let ln = ln_binomial(params.v - j as u64, (d_t - j) as u64)
+        - ln_binomial(params.v, d_t as u64);
+    params.n as f64 * ln.exp()
+}
+
+/// Actual drops `A` for `T ⊆ Q` (§4.4): the expected number of targets that
+/// are subsets of the query, `A = N · C(D_q, D_t) / C(V, D_t)`.
+///
+/// "Almost negligible for probable values of `D_t` and `D_q`", as the paper
+/// notes — e.g. ≈ 10^-18 for `D_t = 10`, `D_q = 100`.
+pub fn actual_drops_subset(params: &Params, d_t: u32, d_q: u32) -> f64 {
+    if d_t > d_q {
+        return 0.0;
+    }
+    let ln = ln_binomial(d_q as u64, d_t as u64) - ln_binomial(params.v, d_t as u64);
+    params.n as f64 * ln.exp()
+}
+
+/// Appendix B: the expected number of objects that must be fetched after a
+/// `T ⊆ Q` NIX union but **fail** the predicate — objects sharing at least
+/// one but not all of their elements with `Q`:
+/// `N · Σ_{j=1}^{D_t−1} C(D_q, j)·C(V−D_q, D_t−j) / C(V, D_t)`.
+pub fn expected_subset_union_accesses(params: &Params, d_t: u32, d_q: u32) -> f64 {
+    let ln_total = ln_binomial(params.v, d_t as u64);
+    let mut sum = 0.0;
+    for j in 1..d_t {
+        let ln = ln_binomial(d_q as u64, j as u64)
+            + ln_binomial(params.v - d_q as u64, (d_t - j) as u64)
+            - ln_total;
+        if ln.is_finite() {
+            sum += ln.exp();
+        }
+    }
+    params.n as f64 * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superset_actual_drops_match_direct_probability() {
+        let p = Params::paper();
+        // D_q = 1: probability a target contains one fixed element is
+        // D_t/V, so A = N·D_t/V.
+        let a = actual_drops_superset(&p, 10, 1);
+        let expected = p.n as f64 * 10.0 / p.v as f64;
+        assert!((a - expected).abs() / expected < 1e-9, "a = {a}");
+    }
+
+    #[test]
+    fn superset_actual_drops_shrink_fast_with_d_q() {
+        let p = Params::paper();
+        let a1 = actual_drops_superset(&p, 10, 1); // ≈ 24.6
+        let a2 = actual_drops_superset(&p, 10, 2); // ≈ 0.017
+        let a3 = actual_drops_superset(&p, 10, 3);
+        assert!(a1 > 20.0 && a1 < 30.0);
+        assert!(a2 < a1 / 100.0);
+        assert!(a3 < a2 / 100.0);
+        assert_eq!(actual_drops_superset(&p, 10, 11), 0.0);
+    }
+
+    #[test]
+    fn subset_actual_drops_negligible_in_papers_regime() {
+        let p = Params::paper();
+        let a = actual_drops_subset(&p, 10, 100);
+        assert!(a > 0.0 && a < 1e-10, "a = {a}");
+        // D_q < D_t: impossible.
+        assert_eq!(actual_drops_subset(&p, 10, 9), 0.0);
+        // D_q = V: every target qualifies.
+        let all = actual_drops_subset(&p, 10, p.v as u32);
+        assert!((all - p.n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_accesses_grow_with_d_q_toward_n() {
+        let p = Params::paper();
+        // §5.2.1: as D_q grows, the union of posting lists approaches all
+        // of N (minus the sets fully inside Q and fully outside).
+        let small = expected_subset_union_accesses(&p, 10, 10);
+        let mid = expected_subset_union_accesses(&p, 10, 1000);
+        let large = expected_subset_union_accesses(&p, 10, 9000);
+        assert!(small < mid && mid < large);
+        assert!(large < p.n as f64);
+        assert!(large > 0.9 * p.n as f64);
+    }
+
+    #[test]
+    fn union_terms_sum_to_overlap_probability() {
+        // Σ_{j=0}^{D_t} C(D_q,j)C(V−D_q,D_t−j) = C(V,D_t) (Vandermonde):
+        // so union + (no overlap) + (full containment) = N.
+        let p = Params::paper();
+        let d_t = 10;
+        let d_q = 500;
+        let partial = expected_subset_union_accesses(&p, d_t, d_q);
+        let full = p.n as f64
+            * (ln_binomial(d_q as u64, d_t as u64) - ln_binomial(p.v, d_t as u64)).exp();
+        let none = p.n as f64
+            * (ln_binomial(p.v - d_q as u64, d_t as u64) - ln_binomial(p.v, d_t as u64)).exp();
+        let total = partial + full + none;
+        assert!((total - p.n as f64).abs() / (p.n as f64) < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn sharing_all_of_j_equals_superset_drops() {
+        let p = Params::paper();
+        for j in 0..5 {
+            assert_eq!(
+                objects_sharing_all_of(&p, 10, j),
+                actual_drops_superset(&p, 10, j)
+            );
+        }
+    }
+}

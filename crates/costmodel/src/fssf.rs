@@ -1,0 +1,141 @@
+//! Cost model of the frame-sliced signature file (extension; see
+//! `setsig_core::Fssf` for the organization).
+
+use crate::actual::{actual_drops_subset, actual_drops_superset};
+use crate::falsedrop::{fd_subset, fd_superset};
+use crate::params::Params;
+use crate::{lc_oid, object_access_cost};
+
+/// Analytical model of a frame-sliced signature file: `F` bits in `k`
+/// frames of `s = F/k`, `m` bits per element within its frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FssfModel {
+    /// Database constants.
+    pub params: Params,
+    /// Total signature width `F`.
+    pub f: u32,
+    /// Frame count `k`.
+    pub k: u32,
+    /// Element weight `m` (within the frame).
+    pub m: u32,
+    /// Target set cardinality `D_t`.
+    pub d_t: u32,
+}
+
+impl FssfModel {
+    /// Creates the model. `k` must divide `F`.
+    pub fn new(params: Params, f: u32, k: u32, m: u32, d_t: u32) -> Self {
+        assert!(k > 0 && f.is_multiple_of(k), "k must divide F");
+        FssfModel { params, f, k, m, d_t }
+    }
+
+    /// Frame width `s = F/k`.
+    pub fn frame_bits(&self) -> u32 {
+        self.f / self.k
+    }
+
+    /// Pages per frame: `⌈N/⌊P·b/s⌋⌉`.
+    pub fn frame_pages(&self) -> u64 {
+        let rpp = self.params.p * self.params.b / self.frame_bits() as u64;
+        self.params.n.div_ceil(rpp)
+    }
+
+    /// Expected number of distinct frames `j` uniformly hashed elements
+    /// touch: `k·(1 − (1 − 1/k)^j)`.
+    pub fn expected_frames(&self, j: u32) -> f64 {
+        let k = self.k as f64;
+        k * (1.0 - (1.0 - 1.0 / k).powi(j as i32))
+    }
+
+    /// Retrieval cost for `T ⊇ Q`: read each distinct query frame, then
+    /// the usual OID look-up and drop resolution. The false-drop
+    /// probability matches BSSF's Eq. (2) (the per-frame ones-fraction is
+    /// `≈ 1 − e^{−m·D_t/F}`).
+    pub fn rc_superset(&self, d_q: u32) -> f64 {
+        let fd = fd_superset(self.f, self.m, self.d_t, d_q);
+        let a = actual_drops_superset(&self.params, self.d_t, d_q);
+        self.expected_frames(d_q) * self.frame_pages() as f64
+            + lc_oid(&self.params, fd, a)
+            + object_access_cost(&self.params, fd, a)
+    }
+
+    /// Retrieval cost for `T ⊆ Q`: every frame must be read (a striped
+    /// full scan), making FSSF the wrong organization for this query.
+    pub fn rc_subset(&self, d_q: u32) -> f64 {
+        let fd = fd_subset(self.f, self.m, self.d_t, d_q);
+        let a = actual_drops_subset(&self.params, self.d_t, d_q);
+        (self.k as u64 * self.frame_pages()) as f64
+            + lc_oid(&self.params, fd, a)
+            + object_access_cost(&self.params, fd, a)
+    }
+
+    /// Storage cost: `k` frames of [`frame_pages`](Self::frame_pages) plus
+    /// the OID file.
+    pub fn sc(&self) -> u64 {
+        self.k as u64 * self.frame_pages() + self.params.sc_oid()
+    }
+
+    /// Insertion cost: one write per distinct frame the target's elements
+    /// touch, plus the OID file — the organization's selling point versus
+    /// BSSF's `F + 1`.
+    pub fn uc_insert(&self) -> f64 {
+        self.expected_frames(self.d_t) + 1.0
+    }
+
+    /// Deletion cost: the same tombstone scan as SSF/BSSF.
+    pub fn uc_delete(&self) -> f64 {
+        self.params.sc_oid() as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BssfModel;
+
+    fn model() -> FssfModel {
+        FssfModel::new(Params::paper(), 500, 50, 3, 10)
+    }
+
+    #[test]
+    fn geometry() {
+        let m = model();
+        assert_eq!(m.frame_bits(), 10);
+        assert_eq!(m.frame_pages(), 10); // ⌈32000/3276⌉
+        assert_eq!(m.sc(), 50 * 10 + 63);
+    }
+
+    #[test]
+    fn expected_frames_saturates_at_k() {
+        let m = model();
+        assert!((m.expected_frames(1) - 1.0).abs() < 1e-9);
+        assert!(m.expected_frames(10) < 10.0);
+        assert!(m.expected_frames(10) > 9.0);
+        assert!(m.expected_frames(10_000) <= 50.0 + 1e-9);
+    }
+
+    #[test]
+    fn insert_cost_beats_bssf_by_orders_of_magnitude() {
+        let fssf = model();
+        let bssf = BssfModel::new(Params::paper(), 500, 2, 10);
+        assert!(fssf.uc_insert() < 12.0);
+        assert_eq!(bssf.uc_insert(), 501.0);
+    }
+
+    #[test]
+    fn superset_costlier_than_bssf_but_cheaper_than_scan() {
+        let fssf = model();
+        let bssf = BssfModel::new(Params::paper(), 500, 2, 10);
+        let ssf = crate::SsfModel::new(Params::paper(), 500, 2, 10);
+        let d_q = 3;
+        assert!(fssf.rc_superset(d_q) > bssf.rc_superset(d_q));
+        assert!(fssf.rc_superset(d_q) < ssf.rc_superset(d_q));
+    }
+
+    #[test]
+    fn subset_is_a_full_striped_scan() {
+        let m = model();
+        // k · frame_pages = 500 pages of slices before drops.
+        assert!(m.rc_subset(100) >= 500.0);
+    }
+}

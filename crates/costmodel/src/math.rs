@@ -1,0 +1,102 @@
+//! Log-space combinatorics.
+//!
+//! The actual-drop formulas of §4.4 divide binomial coefficients whose
+//! magnitudes reach `C(13000, 100) ≈ 10^241`. Every ratio here is computed
+//! as `exp(Σ ln Γ …)`, which stays comfortably inside `f64`.
+
+/// Natural log of the gamma function, by the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is x > 0 (got {x})");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)`; `-∞` when `k > n` (the coefficient is zero).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// `C(a, b) / C(c, d)` in log space — the building block of every
+/// hypergeometric probability in §4.4 and Appendix B.
+pub fn binomial_ratio(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let ln = ln_binomial(a, b) - ln_binomial(c, d);
+    ln.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let facts: [(f64, f64); 6] =
+            [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (4.0, 6.0), (5.0, 24.0), (11.0, 3_628_800.0)];
+        for (x, expected) in facts {
+            let got = ln_gamma(x).exp();
+            assert!((got - expected).abs() / expected < 1e-10, "Γ({x}) = {got}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        let got = ln_gamma(0.5).exp();
+        assert!((got - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_binomial_small_values() {
+        assert!((ln_binomial(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_binomial(10, 5).exp() - 252.0).abs() < 1e-8);
+        assert_eq!(ln_binomial(5, 0), 0.0);
+        assert_eq!(ln_binomial(5, 5), 0.0);
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn huge_binomials_stay_finite_in_log_space() {
+        let ln = ln_binomial(13_000, 100);
+        assert!(ln.is_finite());
+        // log10 C(13000,100) ≈ 253.
+        let log10 = ln / std::f64::consts::LN_10;
+        assert!((log10 - 253.3).abs() < 1.0, "log10 = {log10}");
+    }
+
+    #[test]
+    fn binomial_ratio_hypergeometric_sanity() {
+        // Probability that a fixed element is in a random D_t-subset of V:
+        // C(V-1, D_t-1)/C(V, D_t) = D_t/V.
+        let r = binomial_ratio(12_999, 9, 13_000, 10);
+        assert!((r - 10.0 / 13_000.0).abs() < 1e-12);
+    }
+}

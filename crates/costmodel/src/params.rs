@@ -1,0 +1,82 @@
+//! The constant parameters of the analysis (Table 2).
+
+/// Database and hardware constants — the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Total number of objects `N` (paper: 32,000).
+    pub n: u64,
+    /// Disk page size `P` in bytes (paper: 4096).
+    pub p: u64,
+    /// Size of an OID in bytes (paper: 8).
+    pub oid: u64,
+    /// Cardinality of the set domain `V` (paper: 13,000).
+    pub v: u64,
+    /// Bits per byte `b` (paper: 8).
+    pub b: u64,
+    /// Page accesses per object on unsuccessful retrieval `P_p` (paper: 1).
+    pub p_p: f64,
+    /// Page accesses per object on successful retrieval `P_s` (paper: 1).
+    pub p_s: f64,
+}
+
+impl Params {
+    /// The exact constants of Table 2.
+    pub fn paper() -> Self {
+        Params { n: 32_000, p: 4096, oid: 8, v: 13_000, b: 8, p_p: 1.0, p_s: 1.0 }
+    }
+
+    /// A scaled-down instance with the same page geometry, for fast
+    /// simulation cross-checks (`N` and `V` shrink together so the
+    /// element-sharing degree `d = D_t·N/V` stays in the paper's regime).
+    pub fn scaled(n: u64, v: u64) -> Self {
+        Params { n, v, ..Params::paper() }
+    }
+
+    /// OIDs per page `O_p = ⌊P/oid⌋` (paper: 512).
+    pub fn o_p(&self) -> u64 {
+        self.p / self.oid
+    }
+
+    /// OID file size `SC_OID = ⌈N/O_p⌉` pages (paper: 63).
+    pub fn sc_oid(&self) -> u64 {
+        self.n.div_ceil(self.o_p())
+    }
+
+    /// Rows per BSSF slice page, `P·b` bits (paper: 32,768).
+    pub fn rows_per_slice_page(&self) -> u64 {
+        self.p * self.b
+    }
+
+    /// BSSF slice file size `⌈N/(P·b)⌉` pages (paper: 1).
+    pub fn slice_pages(&self) -> u64 {
+        self.n.div_ceil(self.rows_per_slice_page())
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_derived_constants() {
+        let p = Params::paper();
+        assert_eq!(p.o_p(), 512);
+        assert_eq!(p.sc_oid(), 63);
+        assert_eq!(p.rows_per_slice_page(), 32_768);
+        assert_eq!(p.slice_pages(), 1);
+    }
+
+    #[test]
+    fn scaled_preserves_geometry() {
+        let p = Params::scaled(4000, 1625);
+        assert_eq!(p.o_p(), 512);
+        assert_eq!(p.sc_oid(), 8);
+        assert_eq!(p.slice_pages(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Simulated database instances: the measured half of every exhibit.
+//!
+//! A [`SimDb`] is a full paper-style database — object store with `N`
+//! synthetic objects on the accounting disk — from which SSF, BSSF and NIX
+//! facilities can be built (sharing the same disk) and queries measured in
+//! actual page accesses.
+
+use setsig_core::{
+    resolve_drops, Bssf, CandidateSet, ElementKey, Fssf, FssfConfig, Oid,
+    Result as CoreResult, SetAccessFacility, SetQuery, SignatureConfig, Ssf,
+};
+use setsig_nix::Nix;
+use setsig_oodb::{AttrType, ClassDef, ClassId, Database, Value};
+use setsig_pagestore::PageIo;
+use setsig_workload::{QueryGen, SetGenerator, WorkloadConfig};
+use std::sync::Arc;
+
+/// Measured cost breakdown of one query through one facility.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeasuredQuery {
+    /// Pages touched by the filtering stage (signature scan / slice reads /
+    /// index look-ups, including the OID file).
+    pub filter_pages: u64,
+    /// Pages touched fetching candidate objects during drop resolution.
+    pub object_pages: u64,
+    /// Candidates produced by the filter (drops).
+    pub candidates: u64,
+    /// Candidates that failed verification (false drops).
+    pub false_drops: u64,
+    /// Qualifying objects.
+    pub actual: u64,
+}
+
+impl MeasuredQuery {
+    /// Total measured retrieval cost — the counterpart of the paper's `RC`.
+    pub fn total_pages(&self) -> u64 {
+        self.filter_pages + self.object_pages
+    }
+}
+
+/// A synthetic database instance: `N` objects, each with one indexed set
+/// attribute drawn per the workload config.
+pub struct SimDb {
+    /// The database (object store + accounting disk).
+    pub db: Database,
+    /// The synthetic class.
+    pub class: ClassId,
+    /// Ground-truth target sets, indexed by OID.
+    pub sets: Vec<Vec<u64>>,
+    /// The workload that generated the instance.
+    pub cfg: WorkloadConfig,
+}
+
+impl SimDb {
+    /// Builds the instance: generates all target sets and stores them as
+    /// objects (OID `i` holds `sets[i]`).
+    pub fn build(cfg: WorkloadConfig) -> Self {
+        let sets = SetGenerator::new(cfg).generate_all();
+        let mut db = Database::in_memory();
+        let class = db
+            .define_class(ClassDef::new(
+                "Synthetic",
+                vec![("elems", AttrType::set_of(AttrType::Int))],
+            ))
+            .expect("fresh database");
+        for set in &sets {
+            let value = Value::Set(set.iter().map(|&e| Value::Int(e as i64)).collect());
+            db.insert_object(class, vec![value]).expect("schema-valid insert");
+        }
+        db.disk().reset_stats();
+        SimDb { db, class, sets, cfg }
+    }
+
+    /// Elements of target `oid` as query keys.
+    pub fn target_keys(&self, oid: u64) -> Vec<ElementKey> {
+        self.sets[oid as usize].iter().map(|&e| ElementKey::from(e)).collect()
+    }
+
+    /// A deterministic query generator over this instance's domain.
+    pub fn query_gen(&self, seed: u64) -> QueryGen {
+        QueryGen::new(self.cfg.domain, seed)
+    }
+
+    fn io(&self) -> Arc<dyn PageIo> {
+        Arc::clone(self.db.disk()) as Arc<dyn PageIo>
+    }
+
+    /// Builds an SSF over the instance (inserting every target signature).
+    pub fn build_ssf(&self, f: u32, m: u32) -> Ssf {
+        let cfg = SignatureConfig::new(f, m).expect("valid signature config");
+        let mut ssf = Ssf::create(self.io(), &format!("ssf-f{f}-m{m}"), cfg).expect("fits page");
+        for (i, set) in self.sets.iter().enumerate() {
+            let keys: Vec<ElementKey> = set.iter().map(|&e| ElementKey::from(e)).collect();
+            ssf.insert(Oid::new(i as u64), &keys).expect("insert");
+        }
+        self.db.disk().reset_stats();
+        ssf
+    }
+
+    /// Builds a BSSF over the instance via the bulk loader.
+    pub fn build_bssf(&self, f: u32, m: u32) -> Bssf {
+        let cfg = SignatureConfig::new(f, m).expect("valid signature config");
+        let mut bssf = Bssf::create(self.io(), &format!("bssf-f{f}-m{m}"), cfg).expect("create");
+        let items: Vec<(Oid, Vec<ElementKey>)> = self
+            .sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| {
+                (Oid::new(i as u64), set.iter().map(|&e| ElementKey::from(e)).collect())
+            })
+            .collect();
+        bssf.bulk_load(&items).expect("bulk load");
+        self.db.disk().reset_stats();
+        bssf
+    }
+
+    /// Builds a frame-sliced signature file over the instance.
+    pub fn build_fssf(&self, f: u32, k: u32, m: u32) -> Fssf {
+        let cfg = FssfConfig::new(f, k, m).expect("valid FSSF config");
+        let mut fssf =
+            Fssf::create(self.io(), &format!("fssf-f{f}-k{k}-m{m}"), cfg).expect("create");
+        for (i, set) in self.sets.iter().enumerate() {
+            let keys: Vec<ElementKey> = set.iter().map(|&e| ElementKey::from(e)).collect();
+            fssf.insert(Oid::new(i as u64), &keys).expect("insert");
+        }
+        self.db.disk().reset_stats();
+        fssf
+    }
+
+    /// Builds a NIX over the instance.
+    pub fn build_nix(&self) -> Nix {
+        let mut nix = Nix::on_io(self.io(), "nix");
+        for (i, set) in self.sets.iter().enumerate() {
+            let keys: Vec<ElementKey> = set.iter().map(|&e| ElementKey::from(e)).collect();
+            nix.insert(Oid::new(i as u64), &keys).expect("insert");
+        }
+        self.db.disk().reset_stats();
+        nix
+    }
+
+    /// Measures one query: `filter` produces the candidates (so smart
+    /// strategies plug in), then drop resolution fetches and verifies each
+    /// candidate against the object store.
+    pub fn measure(
+        &self,
+        query: &SetQuery,
+        filter: impl FnOnce() -> CoreResult<CandidateSet>,
+    ) -> MeasuredQuery {
+        let disk = self.db.disk();
+        let start = disk.snapshot();
+        let candidates = filter().expect("filter stage");
+        let after_filter = disk.snapshot();
+        let source = self
+            .db
+            .target_source(self.class, "elems")
+            .expect("class has elems");
+        let report = resolve_drops(query, &candidates, &source).expect("resolution");
+        let end = disk.snapshot();
+        MeasuredQuery {
+            filter_pages: after_filter.since(start).accesses(),
+            object_pages: end.since(after_filter).accesses(),
+            candidates: report.candidates,
+            false_drops: report.false_drops,
+            actual: report.actual.len() as u64,
+        }
+    }
+
+    /// Measures a plain facility query.
+    pub fn measure_facility(&self, facility: &dyn SetAccessFacility, query: &SetQuery) -> MeasuredQuery {
+        self.measure(query, || facility.candidates(query))
+    }
+
+    /// Averages `trials` measured queries produced by `make_query`.
+    pub fn measure_avg(
+        &self,
+        facility: &dyn SetAccessFacility,
+        trials: u32,
+        mut make_query: impl FnMut(u32) -> SetQuery,
+    ) -> f64 {
+        let mut total = 0u64;
+        for t in 0..trials {
+            let q = make_query(t);
+            total += self.measure_facility(facility, &q).total_pages();
+        }
+        total as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setsig_workload::{Cardinality, Distribution};
+
+    fn small_cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            n_objects: 500,
+            domain: 200,
+            cardinality: Cardinality::Fixed(10),
+            distribution: Distribution::Uniform,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn build_creates_consistent_instance() {
+        let sim = SimDb::build(small_cfg());
+        assert_eq!(sim.sets.len(), 500);
+        // Object i's stored set matches the ground truth.
+        let obj = sim.db.get_object(Oid::new(42)).unwrap();
+        let stored = obj.values[0].as_element_set().unwrap();
+        let expected: Vec<ElementKey> =
+            sim.sets[42].iter().map(|&e| ElementKey::from(e)).collect();
+        let mut sorted = expected.clone();
+        sorted.sort_unstable();
+        let mut stored_sorted = stored.clone();
+        stored_sorted.sort_unstable();
+        assert_eq!(stored_sorted, sorted);
+    }
+
+    #[test]
+    fn all_three_facilities_agree_on_actual_answers() {
+        let sim = SimDb::build(small_cfg());
+        let ssf = sim.build_ssf(128, 2);
+        let bssf = sim.build_bssf(128, 2);
+        let nix = sim.build_nix();
+
+        let mut qg = sim.query_gen(3);
+        for trial in 0..5u64 {
+            // Force hits by querying subsets of real targets.
+            let target = &sim.sets[(trial * 97 % 500) as usize];
+            let q = SetQuery::has_subset(
+                qg.subset_of_target(target, 3).into_iter().map(ElementKey::from).collect(),
+            );
+            let a = sim.measure_facility(&ssf, &q);
+            let b = sim.measure_facility(&bssf, &q);
+            let c = sim.measure_facility(&nix, &q);
+            assert_eq!(a.actual, b.actual, "trial {trial}");
+            assert_eq!(b.actual, c.actual, "trial {trial}");
+            assert!(a.actual >= 1, "forced hit must match");
+            assert_eq!(c.false_drops, 0, "NIX ⊇ is exact");
+        }
+    }
+
+    #[test]
+    fn measured_costs_are_positive_and_split() {
+        let sim = SimDb::build(small_cfg());
+        let bssf = sim.build_bssf(128, 2);
+        let q = SetQuery::has_subset(vec![ElementKey::from(7u64)]);
+        let m = sim.measure_facility(&bssf, &q);
+        assert!(m.filter_pages > 0);
+        assert!(m.actual + m.false_drops == m.candidates);
+        assert_eq!(m.total_pages(), m.filter_pages + m.object_pages);
+    }
+
+    #[test]
+    fn measure_avg_averages() {
+        let sim = SimDb::build(small_cfg());
+        let nix = sim.build_nix();
+        let avg = sim.measure_avg(&nix, 4, |t| {
+            SetQuery::has_subset(vec![ElementKey::from(t as u64)])
+        });
+        assert!(avg > 0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The nested index as a set access facility.
+
+use setsig_core::{
+    CandidateSet, ElementKey, Error, Oid, Result, SetAccessFacility, SetPredicate, SetQuery,
+};
+use setsig_pagestore::{Disk, PageIo};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::btree::BTree;
+
+/// The nested index (NIX): a [`BTree`] keyed by set elements whose posting
+/// lists are the OIDs of the objects containing that element, plus the
+/// paper's retrieval schemes (§4.3).
+pub struct Nix {
+    tree: BTree,
+    indexed: u64,
+    /// Catalog checkpoint file; created lazily by [`Nix::sync_meta`].
+    meta_file: Option<setsig_pagestore::PagedFile>,
+}
+
+impl Nix {
+    /// Creates an empty nested index named `name` on `disk`.
+    pub fn create(disk: Arc<Disk>, name: &str) -> Self {
+        let io: Arc<dyn PageIo> = disk as Arc<dyn PageIo>;
+        Nix::on_io(io, name)
+    }
+
+    /// Creates an empty nested index on any page I/O backend.
+    pub fn on_io(io: Arc<dyn PageIo>, name: &str) -> Self {
+        Nix { tree: BTree::create(io, &format!("{name}.nix")), indexed: 0, meta_file: None }
+    }
+
+    /// The underlying B-tree (stats, integrity checks).
+    pub fn tree(&self) -> &BTree {
+        &self.tree
+    }
+
+    /// Posting list of one element: the OIDs of every object whose indexed
+    /// set contains it. Costs `rc = height + 1` page reads (+ chain links).
+    pub fn lookup_element(&self, element: &ElementKey) -> Result<Vec<Oid>> {
+        Ok(self
+            .tree
+            .lookup(element.digest8())?
+            .into_iter()
+            .map(Oid::new)
+            .collect())
+    }
+
+    /// The §4.3 retrieval for `T ⊇ Q`: look up every query element and
+    /// intersect the OID lists. Exact — an object containing every query
+    /// element satisfies the predicate by definition.
+    fn superset_candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        let mut acc: Option<BTreeSet<u64>> = None;
+        for e in &query.elements {
+            let list: BTreeSet<u64> = self.tree.lookup(e.digest8())?.into_iter().collect();
+            acc = Some(match acc {
+                None => list,
+                Some(prev) => prev.intersection(&list).copied().collect(),
+            });
+            if acc.as_ref().is_some_and(BTreeSet::is_empty) {
+                break;
+            }
+        }
+        let oids = acc
+            .map(|s| s.into_iter().map(Oid::new).collect())
+            .unwrap_or_default();
+        Ok(CandidateSet::new(oids, true))
+    }
+
+    /// The §5.1.3 smart strategy: intersect only the first `j_cap` query
+    /// elements' posting lists; the remaining elements are verified at drop
+    /// resolution (so the result is *not* exact when truncated).
+    pub fn candidates_superset_smart(&self, query: &SetQuery, j_cap: usize) -> Result<CandidateSet> {
+        if query.predicate != SetPredicate::HasSubset {
+            return Err(Error::BadQuery("smart superset strategy requires T ⊇ Q".into()));
+        }
+        let take = query.elements.len().min(j_cap.max(1));
+        let truncated = SetQuery::has_subset(query.elements[..take].to_vec());
+        let mut cands = self.superset_candidates(&truncated)?;
+        cands.exact = take == query.elements.len();
+        Ok(cands)
+    }
+
+    /// The §4.3 retrieval for `T ⊆ Q`: union the posting lists of all query
+    /// elements. Not exact — an object sharing one element may still hold
+    /// elements outside `Q` — so drop resolution fetches every candidate,
+    /// which is precisely why the paper finds NIX weak on this query.
+    fn subset_candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        let mut acc: BTreeSet<u64> = BTreeSet::new();
+        for e in &query.elements {
+            acc.extend(self.tree.lookup(e.digest8())?);
+        }
+        Ok(CandidateSet::new(acc.into_iter().map(Oid::new).collect(), false))
+    }
+
+    /// Set equality via the index: `T = Q` implies `T ⊇ Q`, so intersect
+    /// and verify cardinality at resolution.
+    fn equals_candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        let mut cands = self.superset_candidates(query)?;
+        cands.exact = false; // a strict superset of Q would be a false drop
+        Ok(cands)
+    }
+
+    /// Overlap via the index: any object listed under any query element
+    /// shares that element — exact.
+    fn overlap_candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        let mut cands = self.subset_candidates(query)?;
+        cands.exact = true;
+        Ok(cands)
+    }
+}
+
+impl SetAccessFacility for Nix {
+    fn name(&self) -> &'static str {
+        "NIX"
+    }
+
+    fn insert(&mut self, oid: Oid, set: &[ElementKey]) -> Result<()> {
+        let mut seen = BTreeSet::new();
+        for e in set {
+            if seen.insert(e.digest8()) {
+                self.tree.insert(e.digest8(), oid.raw())?;
+            }
+        }
+        self.indexed += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, oid: Oid, set: &[ElementKey]) -> Result<()> {
+        let mut seen = BTreeSet::new();
+        let mut removed_any = false;
+        for e in set {
+            if seen.insert(e.digest8()) && self.tree.remove(e.digest8(), oid.raw())? {
+                removed_any = true;
+            }
+        }
+        if !removed_any && !set.is_empty() {
+            return Err(Error::OidNotFound(oid));
+        }
+        self.indexed = self.indexed.saturating_sub(1);
+        Ok(())
+    }
+
+    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        match query.predicate {
+            SetPredicate::HasSubset | SetPredicate::Contains => self.superset_candidates(query),
+            SetPredicate::InSubset => self.subset_candidates(query),
+            SetPredicate::Equals => self.equals_candidates(query),
+            SetPredicate::Overlaps => self.overlap_candidates(query),
+        }
+    }
+
+    fn indexed_count(&self) -> u64 {
+        self.indexed
+    }
+
+    fn storage_pages(&self) -> Result<u64> {
+        self.tree.storage_pages()
+    }
+}
+
+impl std::fmt::Debug for Nix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Nix {{ objects: {}, {:?} }}", self.indexed, self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(elems: &[&str]) -> Vec<ElementKey> {
+        elems.iter().map(ElementKey::from).collect()
+    }
+
+    fn nix() -> (Arc<Disk>, Nix) {
+        let disk = Arc::new(Disk::new());
+        (Arc::clone(&disk), Nix::create(disk, "test"))
+    }
+
+    #[test]
+    fn superset_intersection_is_exact() {
+        let (_d, mut n) = nix();
+        n.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
+        n.insert(Oid::new(2), &keys(&["Baseball", "Tennis"])).unwrap();
+        n.insert(Oid::new(3), &keys(&["Baseball", "Fishing", "Golf"])).unwrap();
+
+        let q = SetQuery::has_subset(keys(&["Baseball", "Fishing"]));
+        let c = n.candidates(&q).unwrap();
+        assert_eq!(c.oids, vec![Oid::new(1), Oid::new(3)]);
+        assert!(c.exact, "no false drops for NIX on T ⊇ Q");
+    }
+
+    #[test]
+    fn subset_union_needs_verification() {
+        let (_d, mut n) = nix();
+        n.insert(Oid::new(1), &keys(&["Baseball"])).unwrap();
+        n.insert(Oid::new(2), &keys(&["Baseball", "Skiing"])).unwrap();
+        let q = SetQuery::in_subset(keys(&["Baseball", "Fishing"]));
+        let c = n.candidates(&q).unwrap();
+        // Both objects share "Baseball", but object 2 is not a subset:
+        // union returns both, marked inexact.
+        assert_eq!(c.oids, vec![Oid::new(1), Oid::new(2)]);
+        assert!(!c.exact);
+    }
+
+    #[test]
+    fn contains_and_overlap_are_exact() {
+        let (_d, mut n) = nix();
+        n.insert(Oid::new(1), &keys(&["a", "b"])).unwrap();
+        n.insert(Oid::new(2), &keys(&["c"])).unwrap();
+        let c = n.candidates(&SetQuery::contains(ElementKey::from("b"))).unwrap();
+        assert_eq!(c.oids, vec![Oid::new(1)]);
+        assert!(c.exact);
+        let c = n.candidates(&SetQuery::overlaps(keys(&["b", "c"]))).unwrap();
+        assert_eq!(c.oids, vec![Oid::new(1), Oid::new(2)]);
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn equals_intersects_but_verifies() {
+        let (_d, mut n) = nix();
+        n.insert(Oid::new(1), &keys(&["a", "b"])).unwrap();
+        n.insert(Oid::new(2), &keys(&["a", "b", "c"])).unwrap();
+        let c = n.candidates(&SetQuery::equals(keys(&["a", "b"]))).unwrap();
+        // Object 2 is a superset — a candidate the resolver must reject.
+        assert_eq!(c.oids, vec![Oid::new(1), Oid::new(2)]);
+        assert!(!c.exact);
+    }
+
+    #[test]
+    fn smart_superset_truncates_lookups() {
+        let (disk, mut n) = nix();
+        for i in 0..50u64 {
+            let set: Vec<ElementKey> = (0..5).map(|j| ElementKey::from(i * 17 + j)).collect();
+            n.insert(Oid::new(i), &set).unwrap();
+        }
+        let q = SetQuery::has_subset((0..5).map(|j| ElementKey::from(11u64 * 17 + j)).collect());
+        disk.reset_stats();
+        let c = n.candidates_superset_smart(&q, 2).unwrap();
+        assert!(c.oids.contains(&Oid::new(11)));
+        assert!(!c.exact, "truncated strategy must flag for verification");
+        // 2 look-ups × rc reads.
+        let reads = disk.snapshot().reads;
+        assert_eq!(reads as u32, 2 * n.tree().rc_lookup());
+        // Un-truncated (cap ≥ D_q) stays exact.
+        let c = n.candidates_superset_smart(&q, 5).unwrap();
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn smart_rejects_wrong_predicate() {
+        let (_d, n) = nix();
+        let q = SetQuery::in_subset(keys(&["a"]));
+        assert!(n.candidates_superset_smart(&q, 2).is_err());
+    }
+
+    #[test]
+    fn delete_unindexes_object() {
+        let (_d, mut n) = nix();
+        let set = keys(&["Baseball", "Fishing"]);
+        n.insert(Oid::new(1), &set).unwrap();
+        n.insert(Oid::new(2), &set).unwrap();
+        n.delete(Oid::new(1), &set).unwrap();
+        let q = SetQuery::has_subset(keys(&["Baseball"]));
+        assert_eq!(n.candidates(&q).unwrap().oids, vec![Oid::new(2)]);
+        assert_eq!(n.indexed_count(), 1);
+        assert!(n.delete(Oid::new(1), &set).is_err(), "double delete");
+        n.tree().check_integrity().unwrap();
+    }
+
+    #[test]
+    fn duplicate_elements_in_set_indexed_once() {
+        let (_d, mut n) = nix();
+        n.insert(Oid::new(1), &keys(&["a", "a", "a"])).unwrap();
+        assert_eq!(n.tree().posting_count(), 1);
+        let c = n.candidates(&SetQuery::contains(ElementKey::from("a"))).unwrap();
+        assert_eq!(c.oids, vec![Oid::new(1)]);
+    }
+
+    #[test]
+    fn lookup_cost_matches_rc_times_d_q() {
+        let (disk, mut n) = nix();
+        // Enough keys for a height ≥ 1 tree; object i holds {3i, 3i+1,
+        // 3i+2} so the probe elements co-occur and no early exit fires.
+        for i in 0..1000u64 {
+            let set: Vec<ElementKey> = (0..3).map(|j| ElementKey::from(3 * i + j)).collect();
+            n.insert(Oid::new(i), &set).unwrap();
+        }
+        let q = SetQuery::has_subset(vec![
+            ElementKey::from(1500u64),
+            ElementKey::from(1501u64),
+            ElementKey::from(1502u64),
+        ]);
+        disk.reset_stats();
+        let _ = n.candidates(&q).unwrap();
+        let reads = disk.snapshot().reads;
+        assert_eq!(reads as u32, 3 * n.tree().rc_lookup(), "rc·D_q of §4.3");
+    }
+}
+
+impl Nix {
+    /// Checkpoints the index's catalog state: the B-tree checkpoint plus
+    /// the indexed-object count, in a meta file of its own. Returns the
+    /// meta file id to hand to [`Nix::open`].
+    pub fn sync_meta(&mut self) -> Result<setsig_pagestore::FileId> {
+        let tree_meta = self.tree.sync_meta()?;
+        let meta = match &self.meta_file {
+            Some(f) => f.clone(),
+            None => {
+                let f = setsig_pagestore::PagedFile::create(
+                    Arc::clone(self.tree.file_io()),
+                    "nix.meta",
+                );
+                self.meta_file = Some(f.clone());
+                f
+            }
+        };
+        let mut blob = Vec::with_capacity(16);
+        blob.extend_from_slice(b"NIXW");
+        blob.extend_from_slice(&tree_meta.raw().to_le_bytes());
+        blob.extend_from_slice(&self.indexed.to_le_bytes());
+        meta.write_blob(&blob)?;
+        Ok(meta.id())
+    }
+
+    /// Reopens a nested index from a [`Nix::sync_meta`] checkpoint.
+    pub fn open(io: Arc<dyn PageIo>, meta: setsig_pagestore::FileId) -> Result<Self> {
+        let meta_file = setsig_pagestore::PagedFile::open(Arc::clone(&io), meta);
+        let blob = meta_file.read_blob()?;
+        if blob.len() != 16 || &blob[..4] != b"NIXW" {
+            return Err(Error::BadConfig("not a nested-index meta blob".into()));
+        }
+        let tree_meta =
+            setsig_pagestore::FileId::from_raw(u32::from_le_bytes(blob[4..8].try_into().unwrap()));
+        let indexed = u64::from_le_bytes(blob[8..16].try_into().unwrap());
+        let tree = BTree::open(io, tree_meta)?;
+        Ok(Nix { tree, indexed, meta_file: Some(meta_file) })
+    }
+}
+
+#[cfg(test)]
+mod meta_tests {
+    use super::*;
+
+    #[test]
+    fn nix_reopens_from_saved_image() {
+        let dir = std::env::temp_dir().join(format!("setsig-nix-meta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.img");
+
+        let disk = Arc::new(Disk::new());
+        let mut nix = Nix::create(Arc::clone(&disk), "h");
+        // Enough keys to force splits, so root/height survive reopen.
+        for i in 0..2000u64 {
+            nix.insert(Oid::new(i), &[ElementKey::from(i % 300), ElementKey::from(i)]).unwrap();
+        }
+        let meta = nix.sync_meta().unwrap();
+        disk.save_to(&path).unwrap();
+
+        let loaded = Arc::new(Disk::load_from(&path).unwrap());
+        let io: Arc<dyn PageIo> = Arc::clone(&loaded) as Arc<dyn PageIo>;
+        let mut reopened = Nix::open(io, meta).unwrap();
+        assert_eq!(reopened.indexed_count(), 2000);
+        assert_eq!(reopened.tree().key_count(), nix.tree().key_count());
+        let q = SetQuery::contains(ElementKey::from(42u64));
+        let mut expected = nix.candidates(&q).unwrap();
+        let got = reopened.candidates(&q).unwrap();
+        expected.oids.sort_unstable();
+        assert_eq!(got, expected);
+        reopened.tree().check_integrity().unwrap();
+        // Further inserts keep working (splits included).
+        for i in 2000..2300u64 {
+            reopened.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        reopened.tree().check_integrity().unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

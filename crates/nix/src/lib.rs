@@ -1,0 +1,50 @@
+//! # setsig-nix — the nested index baseline
+//!
+//! The paper's comparison point: **NIX**, the nested index of Bertino & Kim
+//! (1989), "an index mechanism based on the B-tree" whose leaf entries pair
+//! a key value with *the list of OIDs of all objects holding that key in the
+//! indexed set attribute* (§4.3). For the sample queries it is built on the
+//! path `Student.hobbies.hobby`: leaf entries look like
+//! `["Baseball", {s1, s2}]`.
+//!
+//! This crate implements NIX for real on the accounting page store:
+//!
+//! * [`BTree`] — a page-oriented B-tree with 8-byte keys, variable-length
+//!   posting lists in slotted leaf pages, page splits, and overflow chains
+//!   for postings too large to share a leaf,
+//! * [`Nix`] — the [`SetAccessFacility`](setsig_core::SetAccessFacility)
+//!   wrapper implementing the paper's retrieval schemes: OID-list
+//!   **intersection** for `T ⊇ Q` (exact, no false drops) and **union** for
+//!   `T ⊆ Q` (candidates that must be verified), plus the §5.1.3 smart
+//!   strategy (intersect only `j` arbitrary elements, verify the rest at
+//!   drop-resolution time).
+//!
+//! Keys are the [`ElementKey::digest8`](setsig_core::ElementKey::digest8)
+//! of set elements — 8 bytes, the paper's `kl` — so integer/OID domains
+//! index exactly and string domains index via a 64-bit hash.
+//!
+//! ```
+//! use setsig_nix::Nix;
+//! use setsig_core::{ElementKey, Oid, SetAccessFacility, SetQuery};
+//! use setsig_pagestore::Disk;
+//! use std::sync::Arc;
+//!
+//! let disk = Arc::new(Disk::new());
+//! let mut nix = Nix::create(disk, "hobbies");
+//! nix.insert(Oid::new(1), &[ElementKey::from("Baseball"), ElementKey::from("Fishing")]).unwrap();
+//! nix.insert(Oid::new(2), &[ElementKey::from("Tennis")]).unwrap();
+//!
+//! let q = SetQuery::has_subset(vec![ElementKey::from("Baseball")]);
+//! let c = nix.candidates(&q).unwrap();
+//! assert_eq!(c.oids, vec![Oid::new(1)]);
+//! assert!(c.exact, "intersection proves T ⊇ Q — no false drops");
+//! ```
+
+#![warn(missing_docs)]
+
+mod btree;
+mod index;
+mod node;
+
+pub use btree::BTree;
+pub use index::Nix;

@@ -1,0 +1,549 @@
+//! The database: catalog + object store + set access facilities + the
+//! two-phase query executor.
+
+use setsig_core::{
+    resolve_drops, CandidateSet, DropReport, ElementKey, ElementSet, Oid, OidAllocator,
+    SetAccessFacility, SetQuery, TargetSetSource,
+};
+use setsig_pagestore::{Disk, IoDelta, PageIo};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::object::Object;
+use crate::path::PathSpec;
+use crate::schema::{ClassDef, ClassId};
+use crate::store::ObjectStore;
+use crate::value::Value;
+
+/// What a facility indexes: a set attribute directly, or a set derived by
+/// following references (§1's `Student.courses.category` path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum IndexedSource {
+    /// The set attribute at this index on the host class.
+    Direct(usize),
+    /// The path-derived set (see [`Database::register_path_facility`]).
+    Path(PathSpec),
+}
+
+/// A registered set access facility: which class/source it indexes plus
+/// the facility itself (SSF, BSSF, FSSF, or — via `setsig-nix` — NIX).
+struct RegisteredFacility {
+    class: ClassId,
+    source: IndexedSource,
+    facility: Box<dyn SetAccessFacility>,
+}
+
+/// The result of executing one set query through a facility.
+#[derive(Debug, Clone)]
+pub struct QueryExecution {
+    /// Qualifying objects after false-drop resolution.
+    pub actual: Vec<Oid>,
+    /// Drop classification from the resolution step.
+    pub report: DropReport,
+    /// Page accesses consumed by the whole query (filter + OID look-up +
+    /// object fetches) — directly comparable to the paper's `RC`.
+    pub io: IoDelta,
+}
+
+/// A minimal OODB: classes, one object store, and any number of set access
+/// facilities over indexed set attributes.
+pub struct Database {
+    disk: Arc<Disk>,
+    store: ObjectStore,
+    classes: Vec<ClassDef>,
+    facilities: Vec<RegisteredFacility>,
+    allocator: OidAllocator,
+}
+
+impl Database {
+    /// Creates a database on a fresh in-memory accounting disk.
+    pub fn in_memory() -> Self {
+        Database::on_disk(Arc::new(Disk::new()))
+    }
+
+    /// Creates a database on an existing disk (so experiments can inspect
+    /// per-file counters).
+    pub fn on_disk(disk: Arc<Disk>) -> Self {
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        Database {
+            disk,
+            store: ObjectStore::create(io, "objects"),
+            classes: Vec::new(),
+            facilities: Vec::new(),
+            allocator: OidAllocator::new(),
+        }
+    }
+
+    /// The underlying accounting disk.
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Defines a class; names must be unique.
+    pub fn define_class(&mut self, def: ClassDef) -> Result<ClassId> {
+        if self.classes.iter().any(|c| c.name == def.name) {
+            return Err(Error::DuplicateClass(def.name));
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(def);
+        Ok(id)
+    }
+
+    /// The definition of `class`.
+    pub fn class(&self, class: ClassId) -> Result<&ClassDef> {
+        self.classes
+            .get(class.0 as usize)
+            .ok_or(Error::NoSuchClass(class))
+    }
+
+    /// Looks a class up by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClassId(i as u32))
+    }
+
+    /// Creates an object of `class` with the given attribute values,
+    /// validating them against the schema, storing the object, and feeding
+    /// every registered facility on the class.
+    pub fn insert_object(&mut self, class: ClassId, values: Vec<Value>) -> Result<Oid> {
+        self.class(class)?.check_values(&values)?;
+        let oid = self.allocator.allocate();
+        let object = Object { oid, class, values };
+        // Derive before storing so a dangling path reference fails the
+        // whole insert instead of leaving a half-indexed object.
+        let mut derived: Vec<(usize, Vec<ElementKey>)> = Vec::new();
+        for (i, reg) in self.facilities.iter().enumerate() {
+            if reg.class == class {
+                derived.push((i, source_set(&self.store, &object, &reg.source)?));
+            }
+        }
+        self.store.put(&object)?;
+        for (i, set) in derived {
+            self.facilities[i].facility.insert(oid, &set)?;
+        }
+        Ok(oid)
+    }
+
+    /// Fetches an object by OID (one or more object-file page reads).
+    pub fn get_object(&self, oid: Oid) -> Result<Object> {
+        self.store.get(oid)
+    }
+
+    /// Deletes an object, removing it from every facility on its class.
+    pub fn delete_object(&mut self, oid: Oid) -> Result<()> {
+        let object = self.store.get(oid)?;
+        let mut derived: Vec<(usize, Vec<ElementKey>)> = Vec::new();
+        for (i, reg) in self.facilities.iter().enumerate() {
+            if reg.class == object.class {
+                derived.push((i, source_set(&self.store, &object, &reg.source)?));
+            }
+        }
+        for (i, set) in derived {
+            self.facilities[i].facility.delete(oid, &set)?;
+        }
+        self.store.delete(oid)
+    }
+
+    /// Registers a set access facility over `class.attr`. The attribute
+    /// must be a set of primitives. Existing objects of the class are
+    /// back-filled into the facility.
+    pub fn register_facility(
+        &mut self,
+        class: ClassId,
+        attr_name: &str,
+        facility: Box<dyn SetAccessFacility>,
+    ) -> Result<usize> {
+        let def = self.class(class)?;
+        let attr = def.attr_index(attr_name)?;
+        if !def.attrs[attr].ty.is_indexable_set() {
+            return Err(Error::NotASetAttribute(attr_name.to_owned()));
+        }
+        self.register_with_source(class, IndexedSource::Direct(attr), facility)
+    }
+
+    /// Shared registration: back-fills existing objects of `class` through
+    /// `source`, then records the facility.
+    fn register_with_source(
+        &mut self,
+        class: ClassId,
+        source: IndexedSource,
+        mut facility: Box<dyn SetAccessFacility>,
+    ) -> Result<usize> {
+        let mut oids: Vec<Oid> = self.store.oids().collect();
+        oids.sort_unstable();
+        for oid in oids {
+            let object = self.store.get(oid)?;
+            if object.class == class {
+                let set = source_set(&self.store, &object, &source)?;
+                facility.insert(oid, &set)?;
+            }
+        }
+        self.facilities.push(RegisteredFacility { class, source, facility });
+        Ok(self.facilities.len() - 1)
+    }
+
+    /// Registration entry point used by the path module.
+    pub(crate) fn register_derived(
+        &mut self,
+        class: ClassId,
+        spec: PathSpec,
+        facility: Box<dyn SetAccessFacility>,
+    ) -> Result<usize> {
+        self.register_with_source(class, IndexedSource::Path(spec), facility)
+    }
+
+    /// Index of a registered facility covering `(class, attr)` directly.
+    pub(crate) fn facility_index_for(&self, class: ClassId, attr: usize) -> Option<usize> {
+        self.facilities
+            .iter()
+            .position(|r| r.class == class && r.source == IndexedSource::Direct(attr))
+    }
+
+    /// The registered facility at `index` (for stats inspection).
+    pub fn facility(&self, index: usize) -> Option<&dyn SetAccessFacility> {
+        self.facilities.get(index).map(|r| r.facility.as_ref())
+    }
+
+    /// Executes `query` over `class.attr` through the registered facility
+    /// `facility_index`, running the paper's two-phase scheme: facility
+    /// filter, then false-drop resolution against the object store.
+    pub fn execute_set_query(
+        &self,
+        facility_index: usize,
+        query: &SetQuery,
+    ) -> Result<QueryExecution> {
+        let reg = self
+            .facilities
+            .get(facility_index)
+            .ok_or_else(|| Error::NoSuchAttribute(format!("facility #{facility_index}")))?;
+        let before = self.disk.snapshot();
+        let candidates = reg.facility.candidates(query)?;
+        self.finish_execution(reg, query, candidates, before)
+    }
+
+    /// Like [`execute_set_query`](Self::execute_set_query), but with a
+    /// caller-supplied candidate set (for the smart BSSF strategies, which
+    /// are methods on `Bssf` rather than on the trait).
+    pub fn resolve_candidates(
+        &self,
+        facility_index: usize,
+        query: &SetQuery,
+        candidates: CandidateSet,
+        filter_start: setsig_pagestore::IoSnapshot,
+    ) -> Result<QueryExecution> {
+        let reg = self
+            .facilities
+            .get(facility_index)
+            .ok_or_else(|| Error::NoSuchAttribute(format!("facility #{facility_index}")))?;
+        self.finish_execution(reg, query, candidates, filter_start)
+    }
+
+    fn finish_execution(
+        &self,
+        reg: &RegisteredFacility,
+        query: &SetQuery,
+        candidates: CandidateSet,
+        before: setsig_pagestore::IoSnapshot,
+    ) -> Result<QueryExecution> {
+        let source = StoreSource { store: &self.store, source: &reg.source };
+        let report = resolve_drops(query, &candidates, &source)
+            .map_err(Error::Facility)?;
+        let io = self.disk.snapshot().since(before);
+        Ok(QueryExecution { actual: report.actual.clone(), report, io })
+    }
+
+    /// A [`TargetSetSource`] over `class.attr` backed by the object store —
+    /// fetching through it charges the paper's per-object page accesses.
+    /// Lets callers resolve drops for facilities they manage outside the
+    /// database (e.g. smart-strategy experiments).
+    pub fn target_source(
+        &self,
+        class: ClassId,
+        attr_name: &str,
+    ) -> Result<impl TargetSetSource + '_> {
+        let attr = self.class(class)?.attr_index(attr_name)?;
+        Ok(OwnedStoreSource { store: &self.store, source: IndexedSource::Direct(attr) })
+    }
+
+    /// Full-scan baseline: evaluates the predicate against **every** object
+    /// of the class, with no facility. Used to verify facility answers and
+    /// to show what the paper's access facilities are buying.
+    pub fn scan_set_query(
+        &self,
+        class: ClassId,
+        attr_name: &str,
+        query: &SetQuery,
+    ) -> Result<QueryExecution> {
+        let def = self.class(class)?;
+        let attr = def.attr_index(attr_name)?;
+        let before = self.disk.snapshot();
+        let mut oids: Vec<Oid> = self.store.oids().collect();
+        oids.sort_unstable();
+        let mut actual = Vec::new();
+        let mut examined = 0u64;
+        for oid in oids {
+            let object = self.store.get(oid)?;
+            if object.class != class {
+                continue;
+            }
+            examined += 1;
+            let set = source_set(&self.store, &object, &IndexedSource::Direct(attr))?;
+            let elem_set: ElementSet = set.into_iter().collect();
+            if setsig_core::verify_predicate(query.predicate, &elem_set, &query.elements) {
+                actual.push(oid);
+            }
+        }
+        let io = self.disk.snapshot().since(before);
+        let hits = actual.len() as u64;
+        Ok(QueryExecution {
+            actual,
+            report: DropReport { actual: Vec::new(), false_drops: examined - hits, candidates: examined },
+            io,
+        })
+    }
+}
+
+/// Extracts the indexed set of an object under a source: the attribute's
+/// own elements, or the path-derived elements (fetching referenced objects
+/// from `store`, charging their page reads).
+fn source_set(store: &ObjectStore, object: &Object, source: &IndexedSource) -> Result<Vec<ElementKey>> {
+    match source {
+        IndexedSource::Direct(attr) => object
+            .value(*attr)
+            .and_then(Value::as_element_set)
+            .ok_or_else(|| Error::NotASetAttribute(format!("attribute #{attr}"))),
+        IndexedSource::Path(spec) => {
+            let refs = match object.value(spec.ref_attr) {
+                Some(Value::Set(elems)) => elems,
+                _ => {
+                    return Err(Error::NotASetAttribute(format!(
+                        "attribute #{}",
+                        spec.ref_attr
+                    )))
+                }
+            };
+            let mut out = Vec::with_capacity(refs.len());
+            for r in refs {
+                let Value::Ref(oid) = r else {
+                    return Err(Error::NotASetAttribute(format!(
+                        "attribute #{} holds non-reference elements",
+                        spec.ref_attr
+                    )));
+                };
+                let target = store.get(*oid)?;
+                let key = target
+                    .value(spec.target_attr)
+                    .and_then(Value::to_element_key)
+                    .ok_or_else(|| {
+                        Error::NoSuchAttribute(format!(
+                            "target attribute #{} of {oid} is not a primitive",
+                            spec.target_attr
+                        ))
+                    })?;
+                out.push(key);
+            }
+            out.sort_unstable();
+            out.dedup();
+            Ok(out)
+        }
+    }
+}
+
+/// Adapter: the object store as a [`TargetSetSource`] for drop resolution.
+struct StoreSource<'a> {
+    store: &'a ObjectStore,
+    source: &'a IndexedSource,
+}
+
+impl TargetSetSource for StoreSource<'_> {
+    fn fetch_set(&self, oid: Oid) -> setsig_core::Result<ElementSet> {
+        fetch_via(self.store, oid, self.source)
+    }
+}
+
+/// As [`StoreSource`] but owning its source (for `target_source`).
+struct OwnedStoreSource<'a> {
+    store: &'a ObjectStore,
+    source: IndexedSource,
+}
+
+impl TargetSetSource for OwnedStoreSource<'_> {
+    fn fetch_set(&self, oid: Oid) -> setsig_core::Result<ElementSet> {
+        fetch_via(self.store, oid, &self.source)
+    }
+}
+
+fn fetch_via(store: &ObjectStore, oid: Oid, source: &IndexedSource) -> setsig_core::Result<ElementSet> {
+    let object = store
+        .get(oid)
+        .map_err(|e| setsig_core::Error::BadQuery(format!("fetch {oid}: {e}")))?;
+    let set = source_set(store, &object, source)
+        .map_err(|e| setsig_core::Error::BadQuery(format!("{oid}: {e}")))?;
+    Ok(set.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+    use setsig_core::{SignatureConfig, Ssf};
+
+    fn hobbies_db() -> (Database, ClassId) {
+        let mut db = Database::in_memory();
+        let student = db
+            .define_class(ClassDef::new(
+                "Student",
+                vec![
+                    ("name", AttrType::Str),
+                    ("hobbies", AttrType::set_of(AttrType::Str)),
+                ],
+            ))
+            .unwrap();
+        (db, student)
+    }
+
+    fn add_student(db: &mut Database, class: ClassId, name: &str, hobbies: &[&str]) -> Oid {
+        db.insert_object(
+            class,
+            vec![
+                Value::str(name),
+                Value::set(hobbies.iter().map(|h| Value::str(h)).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_is_enforced_on_insert() {
+        let (mut db, student) = hobbies_db();
+        let err = db.insert_object(student, vec![Value::Int(3), Value::set(vec![])]);
+        assert!(matches!(err, Err(Error::TypeMismatch { .. })));
+        assert!(matches!(
+            db.insert_object(ClassId(9), vec![]),
+            Err(Error::NoSuchClass(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let (mut db, _student) = hobbies_db();
+        assert!(matches!(
+            db.define_class(ClassDef::new("Student", vec![])),
+            Err(Error::DuplicateClass(_))
+        ));
+        assert!(db.class_by_name("Student").is_some());
+        assert!(db.class_by_name("Course").is_none());
+    }
+
+    #[test]
+    fn scan_query_answers_exactly() {
+        let (mut db, student) = hobbies_db();
+        let jeff = add_student(&mut db, student, "Jeff", &["Baseball", "Fishing"]);
+        let _ann = add_student(&mut db, student, "Ann", &["Chess"]);
+        let bob = add_student(&mut db, student, "Bob", &["Baseball", "Fishing", "Golf"]);
+
+        let q = SetQuery::has_subset(vec![
+            ElementKey::from("Baseball"),
+            ElementKey::from("Fishing"),
+        ]);
+        let r = db.scan_set_query(student, "hobbies", &q).unwrap();
+        assert_eq!(r.actual, vec![jeff, bob]);
+        // Scan fetched every object.
+        assert_eq!(r.report.candidates, 3);
+    }
+
+    #[test]
+    fn facility_query_agrees_with_scan_and_costs_less() {
+        let (mut db, student) = hobbies_db();
+        for i in 0..300u32 {
+            let hobby = format!("hobby{}", i % 50);
+            add_student(&mut db, student, &format!("s{i}"), &[&hobby, "Common"]);
+        }
+        let cfg = SignatureConfig::new(256, 3).unwrap();
+        let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
+        let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
+        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+
+        let q = SetQuery::has_subset(vec![ElementKey::from("hobby7")]);
+        let via_facility = db.execute_set_query(fidx, &q).unwrap();
+        let via_scan = db.scan_set_query(student, "hobbies", &q).unwrap();
+        assert_eq!(via_facility.actual, via_scan.actual);
+        assert_eq!(via_facility.actual.len(), 6);
+        assert!(
+            via_facility.io.accesses() < via_scan.io.accesses(),
+            "facility {:?} vs scan {:?}",
+            via_facility.io,
+            via_scan.io
+        );
+    }
+
+    #[test]
+    fn register_facility_backfills_existing_objects() {
+        let (mut db, student) = hobbies_db();
+        let jeff = add_student(&mut db, student, "Jeff", &["Baseball"]);
+        let cfg = SignatureConfig::new(128, 2).unwrap();
+        let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
+        let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
+        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+        let q = SetQuery::has_subset(vec![ElementKey::from("Baseball")]);
+        assert_eq!(db.execute_set_query(fidx, &q).unwrap().actual, vec![jeff]);
+    }
+
+    #[test]
+    fn register_facility_rejects_non_set_attr() {
+        let (mut db, student) = hobbies_db();
+        let cfg = SignatureConfig::new(128, 2).unwrap();
+        let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
+        let ssf = Ssf::create(io, "bad", cfg).unwrap();
+        assert!(matches!(
+            db.register_facility(student, "name", Box::new(ssf)),
+            Err(Error::NotASetAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn delete_removes_from_store_and_facility() {
+        let (mut db, student) = hobbies_db();
+        let cfg = SignatureConfig::new(128, 2).unwrap();
+        let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
+        let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
+        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+
+        let jeff = add_student(&mut db, student, "Jeff", &["Baseball"]);
+        let bob = add_student(&mut db, student, "Bob", &["Baseball"]);
+        db.delete_object(jeff).unwrap();
+
+        assert!(db.get_object(jeff).is_err());
+        let q = SetQuery::has_subset(vec![ElementKey::from("Baseball")]);
+        assert_eq!(db.execute_set_query(fidx, &q).unwrap().actual, vec![bob]);
+    }
+
+    #[test]
+    fn in_subset_query_end_to_end() {
+        let (mut db, student) = hobbies_db();
+        let cfg = SignatureConfig::new(256, 2).unwrap();
+        let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
+        let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
+        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+
+        let a = add_student(&mut db, student, "A", &["Baseball"]);
+        let b = add_student(&mut db, student, "B", &["Baseball", "Fishing"]);
+        let _c = add_student(&mut db, student, "C", &["Baseball", "Skiing"]);
+
+        // Q2 of the paper: hobbies ⊆ {Baseball, Fishing, Tennis}.
+        let q = SetQuery::in_subset(vec![
+            ElementKey::from("Baseball"),
+            ElementKey::from("Fishing"),
+            ElementKey::from("Tennis"),
+        ]);
+        let r = db.execute_set_query(fidx, &q).unwrap();
+        assert_eq!(r.actual, vec![a, b]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Class definitions: the schema layer.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Identifies a class within a [`Database`](crate::Database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Raw index of the class in the catalog.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// The type of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrType {
+    /// 64-bit integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+    /// Reference to an object (untyped here; a full OODB would carry the
+    /// target class).
+    Ref,
+    /// A set of values of the inner type — the set constructor.
+    Set(Box<AttrType>),
+    /// A fixed tuple of inner types — the tuple constructor.
+    Tuple(Vec<AttrType>),
+}
+
+impl AttrType {
+    /// Shorthand for `Set(Box::new(inner))`.
+    pub fn set_of(inner: AttrType) -> AttrType {
+        AttrType::Set(Box::new(inner))
+    }
+
+    /// True when values of this type can serve as signature/index elements
+    /// (primitives only).
+    pub fn is_element_type(&self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Str | AttrType::Ref)
+    }
+
+    /// True for `Set(primitive)` — the *indexed set attribute* shape the
+    /// paper's facilities support.
+    pub fn is_indexable_set(&self) -> bool {
+        matches!(self, AttrType::Set(inner) if inner.is_element_type())
+    }
+
+    /// Checks `value` against this type.
+    pub fn check(&self, value: &Value) -> bool {
+        match (self, value) {
+            (AttrType::Int, Value::Int(_)) => true,
+            (AttrType::Str, Value::Str(_)) => true,
+            (AttrType::Ref, Value::Ref(_)) => true,
+            (AttrType::Set(inner), Value::Set(elems)) => elems.iter().all(|e| inner.check(e)),
+            (AttrType::Tuple(types), Value::Tuple(elems)) => {
+                types.len() == elems.len()
+                    && types.iter().zip(elems).all(|(t, e)| t.check(e))
+            }
+            _ => false,
+        }
+    }
+
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            AttrType::Int => "int".into(),
+            AttrType::Str => "str".into(),
+            AttrType::Ref => "ref".into(),
+            AttrType::Set(inner) => format!("set<{}>", inner.describe()),
+            AttrType::Tuple(types) => {
+                let inner: Vec<String> = types.iter().map(AttrType::describe).collect();
+                format!("tuple<{}>", inner.join(", "))
+            }
+        }
+    }
+}
+
+/// One attribute of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+/// A class definition: a named tuple of attributes, like the paper's
+/// `Student [name, courses, hobbies]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Attributes, in declaration order.
+    pub attrs: Vec<AttrDef>,
+}
+
+impl ClassDef {
+    /// Creates a class from `(name, type)` pairs.
+    pub fn new(name: &str, attrs: Vec<(&str, AttrType)>) -> Self {
+        ClassDef {
+            name: name.to_owned(),
+            attrs: attrs
+                .into_iter()
+                .map(|(n, ty)| AttrDef { name: n.to_owned(), ty })
+                .collect(),
+        }
+    }
+
+    /// Index of the named attribute.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| Error::NoSuchAttribute(name.to_owned()))
+    }
+
+    /// Validates a full tuple of attribute values against the schema.
+    pub fn check_values(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.attrs.len() {
+            return Err(Error::TypeMismatch {
+                attribute: format!("<{} attributes>", self.attrs.len()),
+                expected: format!("{} values", self.attrs.len()),
+                got: format!("{} values", values.len()),
+            });
+        }
+        for (attr, value) in self.attrs.iter().zip(values) {
+            if !attr.ty.check(value) {
+                return Err(Error::TypeMismatch {
+                    attribute: attr.name.clone(),
+                    expected: attr.ty.describe(),
+                    got: value.kind().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setsig_core::Oid;
+
+    fn student() -> ClassDef {
+        ClassDef::new(
+            "Student",
+            vec![
+                ("name", AttrType::Str),
+                ("courses", AttrType::set_of(AttrType::Ref)),
+                ("hobbies", AttrType::set_of(AttrType::Str)),
+            ],
+        )
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let c = student();
+        assert_eq!(c.attr_index("hobbies").unwrap(), 2);
+        assert!(matches!(c.attr_index("gpa"), Err(Error::NoSuchAttribute(_))));
+    }
+
+    #[test]
+    fn type_checking_accepts_valid_student() {
+        let c = student();
+        let values = vec![
+            Value::str("Jeff"),
+            Value::set(vec![Value::Ref(Oid::new(1))]),
+            Value::set(vec![Value::str("Baseball")]),
+        ];
+        assert!(c.check_values(&values).is_ok());
+    }
+
+    #[test]
+    fn type_checking_rejects_wrong_shapes() {
+        let c = student();
+        // Wrong arity.
+        assert!(c.check_values(&[Value::str("x")]).is_err());
+        // Wrong element type inside a set.
+        let values = vec![
+            Value::str("Jeff"),
+            Value::set(vec![Value::str("not a ref")]),
+            Value::set(vec![]),
+        ];
+        assert!(matches!(
+            c.check_values(&values),
+            Err(Error::TypeMismatch { attribute, .. }) if attribute == "courses"
+        ));
+    }
+
+    #[test]
+    fn indexable_set_detection() {
+        assert!(AttrType::set_of(AttrType::Str).is_indexable_set());
+        assert!(AttrType::set_of(AttrType::Ref).is_indexable_set());
+        assert!(!AttrType::Str.is_indexable_set());
+        assert!(!AttrType::set_of(AttrType::set_of(AttrType::Int)).is_indexable_set());
+    }
+
+    #[test]
+    fn tuple_types_check_recursively() {
+        let ty = AttrType::Tuple(vec![AttrType::Int, AttrType::Str]);
+        assert!(ty.check(&Value::Tuple(vec![Value::Int(1), Value::str("a")])));
+        assert!(!ty.check(&Value::Tuple(vec![Value::str("a"), Value::Int(1)])));
+        assert!(!ty.check(&Value::Tuple(vec![Value::Int(1)])));
+        assert_eq!(ty.describe(), "tuple<int, str>");
+    }
+}

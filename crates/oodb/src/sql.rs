@@ -1,0 +1,351 @@
+//! The paper's SQL-like query surface (§2).
+//!
+//! Queries in the paper are written in a SQL-like language (after Kim's
+//! ORION dialect):
+//!
+//! ```text
+//! select Student where hobbies has-subset ("Baseball", "Fishing")
+//! select Student where hobbies in-subset ("Baseball", "Fishing", "Tennis")
+//! ```
+//!
+//! This module parses that surface into a class + attribute + [`SetQuery`]
+//! and executes it through [`Database::run_query`] — using a registered set
+//! access facility when one covers the attribute, falling back to the
+//! full-scan baseline otherwise.
+
+use setsig_core::{ElementKey, Oid, SetQuery};
+
+use crate::database::{Database, QueryExecution};
+use crate::error::{Error, Result};
+use crate::schema::ClassId;
+
+/// A parsed query: `select <class> [where <attr> <op> <set>]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// Class named in the `select`.
+    pub class_name: String,
+    /// The predicate, absent for a bare `select <class>`.
+    pub condition: Option<(String, SetQuery)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '"' | '\'' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some(c) if c == quote => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(Error::CorruptObject(format!(
+                                "unterminated string literal in query: {input:?}"
+                            )))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: i64 = s
+                    .parse()
+                    .map_err(|_| Error::CorruptObject(format!("bad integer literal {s:?}")))?;
+                out.push(Token::Int(v));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '-' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '-' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => {
+                return Err(Error::CorruptObject(format!(
+                    "unexpected character {other:?} in query"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one query in the paper's surface syntax.
+///
+/// Operators: `has-subset` (⊇), `in-subset` (⊆), `equals` (=), `overlaps`
+/// (∩ ≠ ∅), `contains` (∈). Set literals are parenthesized lists of string
+/// or integer literals; `contains` also accepts a single bare literal.
+pub fn parse_query(input: &str) -> Result<ParsedQuery> {
+    let bad = |msg: &str| Error::CorruptObject(format!("query syntax: {msg}"));
+    let tokens = lex(input)?;
+    let mut it = tokens.into_iter().peekable();
+
+    match it.next() {
+        Some(Token::Ident(kw)) if kw.eq_ignore_ascii_case("select") => {}
+        _ => return Err(bad("expected `select`")),
+    }
+    let class_name = match it.next() {
+        Some(Token::Ident(name)) => name,
+        _ => return Err(bad("expected a class name after `select`")),
+    };
+    if it.peek().is_none() {
+        return Ok(ParsedQuery { class_name, condition: None });
+    }
+    match it.next() {
+        Some(Token::Ident(kw)) if kw.eq_ignore_ascii_case("where") => {}
+        _ => return Err(bad("expected `where` or end of query")),
+    }
+    let attr = match it.next() {
+        Some(Token::Ident(name)) => name,
+        _ => return Err(bad("expected an attribute name after `where`")),
+    };
+    let op = match it.next() {
+        Some(Token::Ident(op)) => op.to_ascii_lowercase(),
+        _ => return Err(bad("expected a set operator")),
+    };
+
+    // Set literal: parenthesized list, or one bare literal.
+    let mut elements = Vec::new();
+    match it.next() {
+        Some(Token::LParen) => loop {
+            match it.next() {
+                Some(Token::Str(s)) => elements.push(ElementKey::from(s)),
+                Some(Token::Int(v)) => elements.push(ElementKey::from(v as u64)),
+                Some(Token::RParen) if elements.is_empty() => break,
+                _ => return Err(bad("expected a literal in the set")),
+            }
+            match it.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                _ => return Err(bad("expected `,` or `)` in the set")),
+            }
+        },
+        Some(Token::Str(s)) => elements.push(ElementKey::from(s)),
+        Some(Token::Int(v)) => elements.push(ElementKey::from(v as u64)),
+        _ => return Err(bad("expected a set literal")),
+    }
+    if it.next().is_some() {
+        return Err(bad("trailing tokens after the set literal"));
+    }
+
+    let query = match op.as_str() {
+        "has-subset" => SetQuery::has_subset(elements),
+        "in-subset" => SetQuery::in_subset(elements),
+        "equals" => SetQuery::equals(elements),
+        "overlaps" => SetQuery::overlaps(elements),
+        "contains" => {
+            if elements.len() != 1 {
+                return Err(bad("`contains` takes exactly one element"));
+            }
+            SetQuery::contains(elements.pop().expect("checked length"))
+        }
+        other => return Err(bad(&format!("unknown operator {other:?}"))),
+    };
+    Ok(ParsedQuery { class_name, condition: Some((attr, query)) })
+}
+
+impl Database {
+    /// Finds a registered facility covering `class.attr_name`, if any.
+    pub fn facility_for(&self, class: ClassId, attr_name: &str) -> Option<usize> {
+        let attr = self.class(class).ok()?.attr_index(attr_name).ok()?;
+        self.facility_index_for(class, attr)
+    }
+
+    /// Parses and executes one query in the paper's SQL-like syntax.
+    ///
+    /// Uses a registered facility over the attribute when available, the
+    /// full-scan baseline otherwise; a bare `select <Class>` returns every
+    /// object of the class.
+    pub fn run_query(&self, text: &str) -> Result<QueryExecution> {
+        let parsed = parse_query(text)?;
+        let class = self
+            .class_by_name(&parsed.class_name)
+            .ok_or_else(|| Error::NoSuchClassName(parsed.class_name.clone()))?;
+        match parsed.condition {
+            None => {
+                // `select Class`: fetch every object of the class.
+                let before = self.disk().snapshot();
+                let mut oids: Vec<Oid> = Vec::new();
+                let mut all: Vec<Oid> = self.store().oids().collect();
+                all.sort_unstable();
+                for oid in all {
+                    if self.get_object(oid)?.class == class {
+                        oids.push(oid);
+                    }
+                }
+                let io = self.disk().snapshot().since(before);
+                let n = oids.len() as u64;
+                Ok(QueryExecution {
+                    actual: oids,
+                    report: setsig_core::DropReport {
+                        actual: Vec::new(),
+                        false_drops: 0,
+                        candidates: n,
+                    },
+                    io,
+                })
+            }
+            Some((attr, query)) => match self.facility_for(class, &attr) {
+                Some(idx) => self.execute_set_query(idx, &query),
+                None => self.scan_set_query(class, &attr, &query),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, ClassDef};
+    use crate::value::Value;
+    use setsig_core::{SetPredicate, SignatureConfig, Ssf};
+    use setsig_pagestore::PageIo;
+    use std::sync::Arc;
+
+    #[test]
+    fn parses_the_papers_q1_and_q2() {
+        let q1 = parse_query(
+            r#"select Student where hobbies has-subset ("Baseball", "Fishing")"#,
+        )
+        .unwrap();
+        assert_eq!(q1.class_name, "Student");
+        let (attr, query) = q1.condition.unwrap();
+        assert_eq!(attr, "hobbies");
+        assert_eq!(query.predicate, SetPredicate::HasSubset);
+        assert_eq!(query.d_q(), 2);
+
+        let q2 = parse_query(
+            r#"select Student where hobbies in-subset ("Baseball", "Fishing", "Tennis")"#,
+        )
+        .unwrap();
+        assert_eq!(q2.condition.unwrap().1.predicate, SetPredicate::InSubset);
+    }
+
+    #[test]
+    fn parses_all_operators_and_literal_forms() {
+        for (text, pred) in [
+            ("select C where xs equals (1, 2)", SetPredicate::Equals),
+            ("select C where xs overlaps (1)", SetPredicate::Overlaps),
+            ("select C where xs contains 7", SetPredicate::Contains),
+            ("select C where xs contains 'single'", SetPredicate::Contains),
+            ("select C where xs has-subset ()", SetPredicate::HasSubset),
+        ] {
+            let p = parse_query(text).unwrap();
+            assert_eq!(p.condition.unwrap().1.predicate, pred, "{text}");
+        }
+        // Bare select.
+        let p = parse_query("select Student").unwrap();
+        assert!(p.condition.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for text in [
+            "",
+            "delete Student",
+            "select",
+            "select Student where",
+            "select Student where hobbies",
+            "select Student where hobbies frobnicates (1)",
+            "select Student where hobbies contains (1, 2)",
+            r#"select S where xs has-subset ("unterminated"#,
+            "select S where xs has-subset (1,)",
+            "select S where xs has-subset (1) trailing",
+            "select S where xs has-subset (1 2)",
+        ] {
+            assert!(parse_query(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn run_query_uses_facility_and_scan_agree() {
+        let mut db = Database::in_memory();
+        let student = db
+            .define_class(ClassDef::new(
+                "Student",
+                vec![("name", AttrType::Str), ("hobbies", AttrType::set_of(AttrType::Str))],
+            ))
+            .unwrap();
+        let io = Arc::clone(db.disk()) as Arc<dyn PageIo>;
+        let ssf = Ssf::create(io, "h", SignatureConfig::new(128, 2).unwrap()).unwrap();
+        db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+
+        let jeff = db
+            .insert_object(
+                student,
+                vec![
+                    Value::str("Jeff"),
+                    Value::set(vec![Value::str("Baseball"), Value::str("Fishing")]),
+                ],
+            )
+            .unwrap();
+        let _bob = db
+            .insert_object(
+                student,
+                vec![Value::str("Bob"), Value::set(vec![Value::str("Chess")])],
+            )
+            .unwrap();
+
+        let r = db
+            .run_query(r#"select Student where hobbies has-subset ("Baseball", "Fishing")"#)
+            .unwrap();
+        assert_eq!(r.actual, vec![jeff]);
+
+        // Unindexed attribute falls back to a scan with the same answer.
+        let r2 = db
+            .run_query(r#"select Student where hobbies contains "Chess""#)
+            .unwrap();
+        assert_eq!(r2.actual.len(), 1);
+
+        // Bare select returns everything.
+        let all = db.run_query("select Student").unwrap();
+        assert_eq!(all.actual.len(), 2);
+
+        // Unknown class errors.
+        assert!(db.run_query("select Course").is_err());
+    }
+}

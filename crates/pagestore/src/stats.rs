@@ -1,0 +1,130 @@
+//! I/O accounting: the observable the whole reproduction is built around.
+//!
+//! The paper's retrieval / storage / update costs are all expressed in
+//! page accesses. Every [`Disk`](crate::Disk) operation bumps counters here,
+//! and experiments take [`IoSnapshot`]s around an operation to obtain its
+//! exact cost as an [`IoDelta`].
+
+/// Whether a page access hit the page following the previous access to the
+/// same file (sequential) or any other page (random).
+///
+/// The paper's model treats both identically (cost = 1 page), but the
+/// distinction lets ablation benchmarks reason about scan-friendly layouts
+/// such as SSF versus the scattered accesses of NIX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Page `n + 1` immediately after page `n` of the same file.
+    Sequential,
+    /// Anything else, including the first access to a file.
+    Random,
+}
+
+/// Cumulative counters for one file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileStats {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages written (including appends).
+    pub writes: u64,
+    /// Reads that were sequential continuations.
+    pub seq_reads: u64,
+    /// Writes that were sequential continuations.
+    pub seq_writes: u64,
+}
+
+impl FileStats {
+    /// Total page accesses (reads + writes) — the paper's cost unit.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A point-in-time copy of the disk-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Total pages read across all files.
+    pub reads: u64,
+    /// Total pages written across all files.
+    pub writes: u64,
+}
+
+impl IoSnapshot {
+    /// Counters accumulated since `earlier`.
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: IoSnapshot) -> IoDelta {
+        debug_assert!(self.reads >= earlier.reads && self.writes >= earlier.writes);
+        IoDelta {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+
+    /// Total page accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The I/O cost of a bracketed operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoDelta {
+    /// Pages read during the operation.
+    pub reads: u64,
+    /// Pages written during the operation.
+    pub writes: u64,
+}
+
+impl IoDelta {
+    /// Total page accesses — directly comparable to the paper's `RC`,
+    /// `UC_I`, `UC_D` figures.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::ops::Add for IoDelta {
+    type Output = IoDelta;
+    fn add(self, rhs: IoDelta) -> IoDelta {
+        IoDelta {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoDelta {
+    fn add_assign(&mut self, rhs: IoDelta) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let a = IoSnapshot { reads: 10, writes: 4 };
+        let b = IoSnapshot { reads: 25, writes: 9 };
+        let d = b.since(a);
+        assert_eq!(d, IoDelta { reads: 15, writes: 5 });
+        assert_eq!(d.accesses(), 20);
+    }
+
+    #[test]
+    fn delta_addition() {
+        let mut d = IoDelta { reads: 1, writes: 2 };
+        d += IoDelta { reads: 3, writes: 4 };
+        assert_eq!(d, IoDelta { reads: 4, writes: 6 });
+        let e = d + IoDelta { reads: 1, writes: 1 };
+        assert_eq!(e.accesses(), 12);
+    }
+
+    #[test]
+    fn file_stats_accesses() {
+        let fs = FileStats { reads: 7, writes: 3, seq_reads: 2, seq_writes: 1 };
+        assert_eq!(fs.accesses(), 10);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the paged disk simulator.
+
+use proptest::prelude::*;
+use setsig_pagestore::{Disk, Page, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Operations applied to a disk model.
+#[derive(Debug, Clone)]
+enum Op {
+    Append { file: usize, tag: u64 },
+    Write { file: usize, page: u32, tag: u64 },
+    Read { file: usize, page: u32 },
+}
+
+fn op_strategy(nfiles: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nfiles, any::<u64>()).prop_map(|(file, tag)| Op::Append { file, tag }),
+        (0..nfiles, 0u32..32, any::<u64>()).prop_map(|(file, page, tag)| Op::Write { file, page, tag }),
+        (0..nfiles, 0u32..32).prop_map(|(file, page)| Op::Read { file, page }),
+    ]
+}
+
+proptest! {
+    /// The disk behaves exactly like a Vec<Vec<u64>> model: same contents,
+    /// same out-of-bounds behaviour, and counters equal the number of
+    /// successful accesses.
+    #[test]
+    fn disk_matches_vec_model(ops in proptest::collection::vec(op_strategy(3), 1..120)) {
+        let disk = Disk::new();
+        let files: Vec<_> = (0..3).map(|i| disk.create_file(&format!("f{i}"))).collect();
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut expect_reads = 0u64;
+        let mut expect_writes = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Append { file, tag } => {
+                    let mut p = Page::zeroed();
+                    p.write_u64(0, tag);
+                    let n = disk.append_page(files[file], &p).unwrap();
+                    prop_assert_eq!(n as usize, model[file].len());
+                    model[file].push(tag);
+                    expect_writes += 1;
+                }
+                Op::Write { file, page, tag } => {
+                    let mut p = Page::zeroed();
+                    p.write_u64(0, tag);
+                    let res = disk.write_page(files[file], page, &p);
+                    if (page as usize) < model[file].len() {
+                        prop_assert!(res.is_ok());
+                        model[file][page as usize] = tag;
+                        expect_writes += 1;
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::Read { file, page } => {
+                    let res = disk.read_page(files[file], page);
+                    if (page as usize) < model[file].len() {
+                        prop_assert_eq!(res.unwrap().read_u64(0), model[file][page as usize]);
+                        expect_reads += 1;
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+            }
+        }
+
+        let snap = disk.snapshot();
+        prop_assert_eq!(snap.reads, expect_reads);
+        prop_assert_eq!(snap.writes, expect_writes);
+        for (i, f) in files.iter().enumerate() {
+            prop_assert_eq!(disk.page_count(*f).unwrap() as usize, model[i].len());
+        }
+    }
+
+    /// Page bit accessors agree with a reference bit set for any pattern.
+    #[test]
+    fn page_bits_match_reference(bits in proptest::collection::btree_set(0usize..PAGE_SIZE * 8, 0..64)) {
+        let mut p = Page::zeroed();
+        for &b in &bits {
+            p.set_bit(b, true);
+        }
+        for probe in 0..PAGE_SIZE * 8 {
+            prop_assert_eq!(p.get_bit(probe), bits.contains(&probe));
+        }
+    }
+
+    /// A buffer pool is transparent: any read through it returns what an
+    /// uncached disk read returns.
+    #[test]
+    fn buffer_pool_is_transparent(
+        writes in proptest::collection::vec((0u32..8, any::<u64>()), 1..40),
+        cap in 1usize..6,
+    ) {
+        use setsig_pagestore::{BufferPool, PageIo};
+        let disk = Arc::new(Disk::new());
+        let f = disk.create_file("t");
+        disk.extend_to(f, 8).unwrap();
+        let pool = BufferPool::new(Arc::clone(&disk), cap);
+        let mut model = [0u64; 8];
+        for (n, tag) in writes {
+            let mut p = Page::zeroed();
+            p.write_u64(0, tag);
+            pool.write_page(f, n, &p).unwrap();
+            model[n as usize] = tag;
+            // Read through the pool and raw: must agree with the model.
+            prop_assert_eq!(pool.read_page(f, n).unwrap().read_u64(0), tag);
+        }
+        for n in 0..8u32 {
+            prop_assert_eq!(disk.read_page(f, n).unwrap().read_u64(0), model[n as usize]);
+            prop_assert_eq!(pool.read_page(f, n).unwrap().read_u64(0), model[n as usize]);
+        }
+    }
+}

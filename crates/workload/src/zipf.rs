@@ -1,0 +1,89 @@
+//! A simple Zipf sampler over `0..n` via inverse-CDF table lookup.
+
+use rand::Rng;
+
+/// Zipf(θ) distribution over ranks `0..n`: rank `r` has probability
+/// proportional to `1/(r+1)^θ`. `θ = 0` degenerates to uniform.
+///
+/// Used by the skewed-domain extension experiments; the paper itself
+/// assumes uniform element popularity.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `theta ≥ 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a nonempty domain");
+        assert!(theta >= 0.0, "Zipf exponent must be nonnegative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        // First rank whose cumulative mass reaches u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0u32;
+        let total = 10_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With θ = 1.2, the top 10 of 1000 ranks carry a large share.
+        assert!(head > total / 4, "head = {head}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(5, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

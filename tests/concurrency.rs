@@ -1,0 +1,87 @@
+//! Concurrent read paths: facilities are `&self` for queries and the disk
+//! is internally synchronized, so many threads can query the same
+//! structures simultaneously and must all see consistent answers.
+
+use setsig::nix::Nix;
+use setsig::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn parallel_queries_agree_with_serial_answers() {
+    let disk = Arc::new(Disk::new());
+    let io = || Arc::clone(&disk) as Arc<dyn PageIo>;
+    let mut bssf = Bssf::create(io(), "b", SignatureConfig::new(128, 2).unwrap()).unwrap();
+    let mut nix = Nix::on_io(io(), "n");
+    let items: Vec<(Oid, Vec<ElementKey>)> = (0..1000u64)
+        .map(|i| {
+            (Oid::new(i), (0..5).map(|j| ElementKey::from(i * 3 + j)).collect())
+        })
+        .collect();
+    bssf.bulk_load(&items).unwrap();
+    for (oid, set) in &items {
+        nix.insert(*oid, set).unwrap();
+    }
+    let bssf = Arc::new(bssf);
+    let nix = Arc::new(nix);
+
+    // Serial ground truth.
+    let queries: Vec<SetQuery> = (0..16u64)
+        .map(|t| SetQuery::has_subset(vec![ElementKey::from(t * 50), ElementKey::from(t * 50 + 1)]))
+        .collect();
+    let expected: Vec<_> = queries.iter().map(|q| bssf.candidates(q).unwrap()).collect();
+
+    let handles: Vec<_> = queries
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, q)| {
+            let bssf = Arc::clone(&bssf);
+            let nix = Arc::clone(&nix);
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                for _ in 0..10 {
+                    results.push((bssf.candidates(&q).unwrap(), nix.candidates(&q).unwrap()));
+                }
+                (i, results)
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (i, results) = h.join().expect("no panics under concurrency");
+        for (b, n) in results {
+            assert_eq!(b, expected[i], "BSSF thread {i} diverged");
+            // NIX is exact on ⊇, so its candidates are the true answers —
+            // a subset of BSSF's drops.
+            for oid in &n.oids {
+                assert!(b.oids.contains(oid));
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_io_accounting_is_exact() {
+    // Counter totals must equal the sum of per-thread work even under
+    // contention.
+    let disk = Arc::new(Disk::new());
+    let f = disk.create_file("t");
+    disk.extend_to(f, 4).unwrap();
+    disk.reset_stats();
+    let threads = 8;
+    let reads_each = 500;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let d = Arc::clone(&disk);
+            std::thread::spawn(move || {
+                for i in 0..reads_each {
+                    let _ = d.read_page(f, (i % 4) as u32).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(disk.snapshot().reads, threads * reads_each);
+}
