@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use setsig_bench::{bench_db, superset_query};
-use setsig_core::{Bssf, ElementKey, Fssf, FssfConfig, Oid, SetAccessFacility, Signature, SignatureConfig};
+use setsig_core::{
+    Bssf, ElementKey, Fssf, FssfConfig, Oid, SetAccessFacility, Signature, SignatureConfig,
+};
 use setsig_pagestore::{BufferPool, Disk, PageIo};
 use std::sync::Arc;
 
@@ -33,7 +35,9 @@ fn insert_paths(c: &mut Criterion) {
     group.bench_function("sparse_m_plus_1", |b| {
         b.iter(|| {
             next += 1;
-            sparse.insert_signature_sparse(Oid::new(next), &sig).unwrap();
+            sparse
+                .insert_signature_sparse(Oid::new(next), &sig)
+                .unwrap();
         })
     });
 
@@ -52,7 +56,12 @@ fn insert_paths(c: &mut Criterion) {
         .sets
         .iter()
         .enumerate()
-        .map(|(i, s)| (Oid::new(i as u64), s.iter().map(|&e| ElementKey::from(e)).collect()))
+        .map(|(i, s)| {
+            (
+                Oid::new(i as u64),
+                s.iter().map(|&e| ElementKey::from(e)).collect(),
+            )
+        })
         .collect();
     group.bench_function("batch_insert_64", |b| {
         let disk = Arc::new(Disk::new());

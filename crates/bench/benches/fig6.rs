@@ -17,13 +17,13 @@ fn fig6(c: &mut Criterion) {
             b.iter(|| sim.measure_facility(&bssf, q))
         });
         group.bench_with_input(BenchmarkId::new("bssf_smart", d_q), &q, |b, q| {
-            b.iter(|| sim.measure(q, || bssf.candidates_superset_smart(q, 2)))
+            b.iter(|| sim.measure_smart(&bssf, q, || bssf.candidates_superset_smart(q, 2)))
         });
         group.bench_with_input(BenchmarkId::new("nix_plain", d_q), &q, |b, q| {
             b.iter(|| sim.measure_facility(&nix, q))
         });
         group.bench_with_input(BenchmarkId::new("nix_smart", d_q), &q, |b, q| {
-            b.iter(|| sim.measure(q, || nix.candidates_superset_smart(q, 2)))
+            b.iter(|| sim.measure_smart(&nix, q, || nix.candidates_superset_smart(q, 2)))
         });
     }
     group.finish();

@@ -22,7 +22,7 @@ fn fig9(c: &mut Criterion) {
             b.iter(|| sim.measure_facility(&bssf, q))
         });
         group.bench_with_input(BenchmarkId::new("bssf_smart", d_q), &q, |b, q| {
-            b.iter(|| sim.measure(q, || bssf.candidates_subset_smart(q, slice_cap)))
+            b.iter(|| sim.measure_smart(&bssf, q, || bssf.candidates_subset_smart(q, slice_cap)))
         });
         group.bench_with_input(BenchmarkId::new("nix", d_q), &q, |b, q| {
             b.iter(|| sim.measure_facility(&nix, q))

@@ -1,0 +1,131 @@
+//! Serial vs. parallel slice-scan engine, at a size where parallelism can
+//! pay: ~99k rows so every slice spans 4 pages and a ⊇ query at `m_opt`
+//! ANDs dozens of slices (⊆ queries OR hundreds).
+//!
+//! Thread counts 1/2/4/8 over identical instances; the filtering answers
+//! are identical by construction (see `tests/parallel_parity.rs`), so this
+//! measures pure engine wall-clock. Run on a ≥4-core machine for
+//! meaningful scaling; results on this repo's reference hardware are
+//! recorded in `results/parallel_speedup.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setsig_core::{Bssf, ElementKey, Oid, SetAccessFacility, SetQuery, SignatureConfig, Ssf};
+use setsig_pagestore::{Disk, PageIo};
+use setsig_workload::{Cardinality, Distribution, QueryGen, SetGenerator, WorkloadConfig};
+use std::sync::Arc;
+
+/// 3 full slice pages plus a partial fourth.
+const N: u64 = 3 * 32_768 + 1_000;
+const DOMAIN: u64 = 13_000;
+const D_T: u32 = 10;
+
+fn sets() -> Vec<(Oid, Vec<ElementKey>)> {
+    let cfg = WorkloadConfig {
+        n_objects: N,
+        domain: DOMAIN,
+        cardinality: Cardinality::Fixed(D_T),
+        distribution: Distribution::Uniform,
+        seed: 0x000b_e0c4 + 99,
+    };
+    SetGenerator::new(cfg)
+        .generate_all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                Oid::new(i as u64),
+                s.iter().map(|&e| ElementKey::from(e)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn build_bssf(items: &[(Oid, Vec<ElementKey>)], f: u32, m: u32, threads: usize) -> Bssf {
+    let disk = Arc::new(Disk::new());
+    let io = Arc::clone(&disk) as Arc<dyn PageIo>;
+    let mut b = Bssf::create(io, "bench", SignatureConfig::new(f, m).unwrap()).unwrap();
+    b.bulk_load(items).unwrap();
+    b.set_parallelism(threads);
+    b
+}
+
+fn build_ssf(items: &[(Oid, Vec<ElementKey>)], f: u32, m: u32, threads: usize) -> Ssf {
+    let disk = Arc::new(Disk::new());
+    let io = Arc::clone(&disk) as Arc<dyn PageIo>;
+    let mut s = Ssf::create(io, "bench", SignatureConfig::new(f, m).unwrap()).unwrap();
+    for (oid, set) in items {
+        s.insert(*oid, set).unwrap();
+    }
+    s.set_parallelism(threads);
+    s
+}
+
+fn queries(superset: bool, d_q: u32) -> Vec<SetQuery> {
+    let mut qg = QueryGen::new(DOMAIN, 0xBE);
+    (0..4)
+        .map(|_| {
+            let keys: Vec<ElementKey> = qg.random(d_q).into_iter().map(ElementKey::from).collect();
+            if superset {
+                SetQuery::has_subset(keys)
+            } else {
+                SetQuery::in_subset(keys)
+            }
+        })
+        .collect()
+}
+
+fn parallel_scan(c: &mut Criterion) {
+    let items = sets();
+    let threads = [1usize, 2, 4, 8];
+
+    // ⊇ at m_opt = 35: D_q = 3 queries AND ~100 slice reads (400 pages).
+    let mut group = c.benchmark_group("parallel_scan_bssf_superset");
+    group.sample_size(10);
+    let qs = queries(true, 3);
+    for &t in &threads {
+        let bssf = build_bssf(&items, 500, 35, t);
+        group.bench_with_input(BenchmarkId::new("threads", t), &qs, |b, qs| {
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| bssf.candidates(q).unwrap().len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+
+    // ⊆ at m = 2: ~480 zero-slices ORed (1,900+ pages per query).
+    let mut group = c.benchmark_group("parallel_scan_bssf_subset");
+    group.sample_size(10);
+    let qs = queries(false, 50);
+    for &t in &threads {
+        let bssf = build_bssf(&items, 500, 2, t);
+        group.bench_with_input(BenchmarkId::new("threads", t), &qs, |b, qs| {
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| bssf.candidates(q).unwrap().len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+
+    // SSF full scan, batched kernels, page-partitioned across workers.
+    let mut group = c.benchmark_group("parallel_scan_ssf_fullscan");
+    group.sample_size(10);
+    let qs = queries(true, 3);
+    for &t in &threads {
+        let ssf = build_ssf(&items, 500, 35, t);
+        group.bench_with_input(BenchmarkId::new("threads", t), &qs, |b, qs| {
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| ssf.candidates(q).unwrap().len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_scan);
+criterion_main!(benches);

@@ -200,13 +200,123 @@ impl Bitmap {
     /// beyond `nbits` in the final byte are ignored.
     pub fn from_bytes(nbits: u32, bytes: &[u8]) -> Bitmap {
         let nbytes = (nbits as usize).div_ceil(8);
-        assert!(bytes.len() >= nbytes, "need {nbytes} bytes for {nbits} bits");
+        assert!(
+            bytes.len() >= nbytes,
+            "need {nbytes} bytes for {nbits} bits"
+        );
         let mut bm = Bitmap::zeroed(nbits);
-        for (i, &b) in bytes[..nbytes].iter().enumerate() {
-            bm.words[i / 8] |= (b as u64) << ((i % 8) * 8);
+        for (wi, w) in bm.words.iter_mut().enumerate() {
+            *w = le_word(&bytes[..nbytes], wi);
         }
         bm.mask_tail();
         bm
+    }
+
+    /// The backing 64-bit words, least-significant position first.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn assert_byte_width(&self, bytes: &[u8]) -> usize {
+        let nbytes = (self.nbits as usize).div_ceil(8);
+        assert!(
+            bytes.len() >= nbytes,
+            "need {nbytes} bytes for {} bits",
+            self.nbits
+        );
+        nbytes
+    }
+
+    /// `self &= bytes` — word-at-a-time AND straight from the serialized
+    /// (LSB-first) form, the BSSF slice-combining kernel: no intermediate
+    /// `Bitmap` is materialized for the incoming slice.
+    pub fn and_assign_bytes(&mut self, bytes: &[u8]) {
+        let nbytes = self.assert_byte_width(bytes);
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            *w &= le_word(&bytes[..nbytes], wi);
+        }
+        // Tail garbage in `bytes` can only clear bits, never leak new ones.
+    }
+
+    /// `self |= bytes` — the OR counterpart of
+    /// [`and_assign_bytes`](Bitmap::and_assign_bytes), used by the `T ⊆ Q`
+    /// slice scan.
+    pub fn or_assign_bytes(&mut self, bytes: &[u8]) {
+        let nbytes = self.assert_byte_width(bytes);
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            *w |= le_word(&bytes[..nbytes], wi);
+        }
+        self.mask_tail();
+    }
+
+    /// True if every set bit of `self` is also set in the serialized bitmap
+    /// `bytes` — the `T ⊇ Q` row-match rule with `self` as the query
+    /// signature and `bytes` a stored row, evaluated word-at-a-time.
+    pub fn is_covered_by_bytes(&self, bytes: &[u8]) -> bool {
+        let nbytes = self.assert_byte_width(bytes);
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(wi, &w)| w & !le_word(&bytes[..nbytes], wi) == 0)
+    }
+
+    /// True if every set bit of the serialized bitmap `bytes` is also set in
+    /// `self` — the `T ⊆ Q` row-match rule with `self` as the query
+    /// signature.
+    pub fn covers_bytes(&self, bytes: &[u8]) -> bool {
+        let nbytes = self.assert_byte_width(bytes);
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(wi, &w)| self.masked(wi, le_word(&bytes[..nbytes], wi)) & !w == 0)
+    }
+
+    /// True if the serialized bitmap `bytes` equals `self` bit-for-bit
+    /// (padding bits beyond the width ignored).
+    pub fn eq_bytes(&self, bytes: &[u8]) -> bool {
+        let nbytes = self.assert_byte_width(bytes);
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(wi, &w)| self.masked(wi, le_word(&bytes[..nbytes], wi)) == w)
+    }
+
+    /// Popcount of the intersection with the serialized bitmap `bytes` —
+    /// the overlap row-match kernel.
+    pub fn intersection_count_bytes(&self, bytes: &[u8]) -> u32 {
+        let nbytes = self.assert_byte_width(bytes);
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(wi, &w)| (w & le_word(&bytes[..nbytes], wi)).count_ones())
+            .sum()
+    }
+
+    /// Applies the width's tail mask to an externally sourced word `wi`.
+    #[inline]
+    fn masked(&self, wi: usize, w: u64) -> u64 {
+        let rem = self.nbits % 64;
+        if rem != 0 && wi + 1 == self.words.len() {
+            w & ((1u64 << rem) - 1)
+        } else {
+            w
+        }
+    }
+}
+
+/// Word `wi` of an LSB-first byte buffer, zero-padded past the end.
+#[inline]
+fn le_word(bytes: &[u8], wi: usize) -> u64 {
+    let start = wi * 8;
+    if start + 8 <= bytes.len() {
+        u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+    } else if start < bytes.len() {
+        let mut buf = [0u8; 8];
+        buf[..bytes.len() - start].copy_from_slice(&bytes[start..]);
+        u64::from_le_bytes(buf)
+    } else {
+        0
     }
 }
 
@@ -352,6 +462,59 @@ mod tests {
         // A final byte with garbage beyond nbits must be masked off.
         let back = Bitmap::from_bytes(4, &[0xff]);
         assert_eq!(back.count_ones(), 4);
+    }
+
+    #[test]
+    fn byte_kernels_agree_with_bitmap_ops() {
+        // The word-at-a-time byte kernels must agree with the reference
+        // Bitmap operations for widths straddling word boundaries.
+        for nbits in [7u32, 64, 70, 128, 200, 500] {
+            let a = Bitmap::from_positions(nbits, &[0, nbits / 3, nbits - 1]);
+            let b = Bitmap::from_positions(nbits, &[0, nbits / 2, nbits - 1]);
+            let bb = b.to_bytes();
+
+            let mut and_ref = a.clone();
+            and_ref.and_assign(&b);
+            let mut and_k = a.clone();
+            and_k.and_assign_bytes(&bb);
+            assert_eq!(and_k, and_ref, "AND width {nbits}");
+
+            let mut or_ref = a.clone();
+            or_ref.or_assign(&b);
+            let mut or_k = a.clone();
+            or_k.or_assign_bytes(&bb);
+            assert_eq!(or_k, or_ref, "OR width {nbits}");
+
+            assert_eq!(a.is_covered_by_bytes(&bb), b.covers(&a), "⊇ width {nbits}");
+            assert_eq!(a.covers_bytes(&bb), a.covers(&b), "⊆ width {nbits}");
+            assert_eq!(a.eq_bytes(&bb), a == b, "eq width {nbits}");
+            assert_eq!(
+                a.intersection_count_bytes(&bb),
+                a.intersection_count(&b),
+                "popcount width {nbits}"
+            );
+            assert!(b.eq_bytes(&bb));
+        }
+    }
+
+    #[test]
+    fn byte_kernels_mask_padding_bits() {
+        // Garbage bits beyond the width in the final byte must not affect
+        // any kernel (stored pages can carry neighbouring rows there).
+        let q = Bitmap::from_positions(4, &[1, 2]);
+        assert!(q.covers_bytes(&[0b1111_0110])); // high nibble is padding
+        assert!(!q.eq_bytes(&[0b1111_0111]));
+        assert!(q.eq_bytes(&[0b1111_0110]));
+        assert_eq!(q.intersection_count_bytes(&[0b1111_1110]), 2);
+        let mut o = Bitmap::zeroed(4);
+        o.or_assign_bytes(&[0xff]);
+        assert_eq!(o.count_ones(), 4);
+    }
+
+    #[test]
+    fn words_accessor_exposes_backing_storage() {
+        let bm = Bitmap::from_positions(130, &[0, 64, 129]);
+        assert_eq!(bm.words(), &[1u64, 1u64, 2u64]);
     }
 
     #[test]

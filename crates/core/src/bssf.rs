@@ -22,14 +22,15 @@
 //! exactly that; [`Bssf::insert_sparse`] and [`Bssf::bulk_load`] implement
 //! the improvements §6 anticipates.
 
-use setsig_pagestore::{Page, PagedFile, PageIo, PAGE_SIZE};
-use std::sync::Arc;
+use setsig_pagestore::{BufferPool, Page, PageIo, PagedFile, PAGE_SIZE};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::bitmap::Bitmap;
 use crate::config::SignatureConfig;
 use crate::element::ElementKey;
 use crate::error::{Error, Result};
-use crate::facility::{CandidateSet, SetAccessFacility};
+use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
 use crate::oid::Oid;
 use crate::oidfile::OidFile;
 use crate::query::{SetPredicate, SetQuery};
@@ -45,6 +46,12 @@ pub struct Bssf {
     oid_file: OidFile,
     /// Catalog checkpoint file; created lazily by [`Bssf::sync_meta`].
     meta_file: Option<PagedFile>,
+    /// Worker threads for slice scans; `1` runs the serial protocol inline.
+    threads: usize,
+    /// The buffer pool slice reads are routed through when built via
+    /// [`Bssf::create_cached`].
+    pool: Option<Arc<BufferPool>>,
+    scan: ScanCounters,
 }
 
 impl Bssf {
@@ -59,7 +66,53 @@ impl Bssf {
             slices,
             oid_file: OidFile::create(io, &format!("{name}.oid")),
             meta_file: None,
+            threads: 1,
+            pool: None,
+            scan: ScanCounters::default(),
         })
+    }
+
+    /// Creates an empty BSSF whose slice and OID reads are routed through a
+    /// fresh [`BufferPool`] of `pool_pages` frames over `disk`, so hot slice
+    /// pages are served from memory on re-query. Writes go through the pool
+    /// write-through, keeping the disk authoritative.
+    pub fn create_cached(
+        disk: Arc<setsig_pagestore::Disk>,
+        name: &str,
+        cfg: SignatureConfig,
+        pool_pages: usize,
+    ) -> Result<Self> {
+        let pool = Arc::new(BufferPool::new(disk, pool_pages));
+        let io: Arc<dyn PageIo> = Arc::clone(&pool) as Arc<dyn PageIo>;
+        let mut bssf = Self::create(io, name, cfg)?;
+        bssf.pool = Some(pool);
+        Ok(bssf)
+    }
+
+    /// Sets the number of worker threads for slice scans. `1` (the default)
+    /// runs the paper's serial protocol inline; higher values fan slice
+    /// fetches across scoped threads. Candidate sets and *logical* page
+    /// counts are identical either way.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Current worker-thread count for slice scans.
+    pub fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    /// The buffer pool reads are routed through, when built via
+    /// [`Bssf::create_cached`].
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Page-access accounting of the most recent filtering scan (the
+    /// counters behind the invariant that parallel and serial engines
+    /// charge identical logical pages).
+    pub fn last_scan_stats(&self) -> ScanStats {
+        self.scan.stats()
     }
 
     /// The signature design parameters.
@@ -149,8 +202,9 @@ impl Bssf {
         let npages = n.div_ceil(ROWS_PER_PAGE) as u32;
         let f = self.cfg.f_bits() as usize;
         // Stage all slice pages in memory: F × npages × 4 KiB.
-        let mut staged: Vec<Vec<Page>> =
-            (0..f).map(|_| (0..npages).map(|_| Page::zeroed()).collect()).collect();
+        let mut staged: Vec<Vec<Page>> = (0..f)
+            .map(|_| (0..npages).map(|_| Page::zeroed()).collect())
+            .collect();
         let mut oids = Vec::with_capacity(items.len());
         for (i, (oid, set)) in items.iter().enumerate() {
             let sig = Signature::for_set(&self.cfg, set);
@@ -171,16 +225,20 @@ impl Bssf {
 
     fn check_width(&self, sig: &Signature) -> Result<()> {
         if sig.f_bits() != self.cfg.f_bits() {
-            return Err(Error::WidthMismatch { expected: self.cfg.f_bits(), got: sig.f_bits() });
+            return Err(Error::WidthMismatch {
+                expected: self.cfg.f_bits(),
+                got: sig.f_bits(),
+            });
         }
         Ok(())
     }
 
-    /// Reads slice `j` as a row bitmap of length `n` (the current entry
-    /// count), charging one read per materialized page. Pages past the end
-    /// of a sparsely built slice are known-zero from file metadata and cost
+    /// Reads slice `j`'s rows into a packed byte buffer of length
+    /// `⌈n/8⌉`, charging one read per materialized page, and returns the
+    /// buffer together with the page count. Pages past the end of a
+    /// sparsely built slice are known-zero from file metadata and cost
     /// nothing.
-    fn read_slice_rows(&self, j: u32) -> Result<Bitmap> {
+    fn read_slice_bytes(&self, j: u32) -> Result<(Vec<u8>, u64)> {
         let n = self.oid_file.len();
         let slice = &self.slices[j as usize];
         let have = slice.len()?;
@@ -196,12 +254,24 @@ impl Bssf {
                 buf[start..start + take].copy_from_slice(&page.as_bytes()[..take]);
             })?;
         }
+        Ok((buf, npages as u64))
+    }
+
+    /// Reads slice `j` as a row bitmap of length `n` (the current entry
+    /// count).
+    fn read_slice_rows(&self, j: u32) -> Result<Bitmap> {
+        let n = self.oid_file.len();
+        let (buf, _) = self.read_slice_bytes(j)?;
         Ok(Bitmap::from_bytes(n as u32, &buf))
     }
 
     /// `T ⊇ Q` scan (§4.2): AND of the slices at the query signature's
     /// 1-positions, optionally restricted to the first `max_slices` of them
     /// (the smart strategy caps this via a reduced query signature).
+    ///
+    /// The AND runs word-at-a-time straight off the page bytes
+    /// ([`Bitmap::and_assign_bytes`]), and stops as soon as the running
+    /// candidate bitmap is empty — no later slice can revive a row.
     fn superset_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
@@ -209,13 +279,126 @@ impl Bssf {
             // Empty query set: everything is a superset.
             return Ok((0..n).collect());
         }
-        let mut acc = self.read_slice_rows(ones[0])?;
+        if self.threads > 1 && ones.len() > 1 {
+            return self.superset_positions_parallel(&ones, n);
+        }
+        let (bytes, np) = self.read_slice_bytes(ones[0])?;
+        self.scan.charge_both(np);
+        let mut acc = Bitmap::from_bytes(n as u32, &bytes);
         for &j in &ones[1..] {
             if acc.is_zero() {
                 break;
             }
-            acc.and_assign(&self.read_slice_rows(j)?);
+            let (bytes, np) = self.read_slice_bytes(j)?;
+            self.scan.charge_both(np);
+            acc.and_assign_bytes(&bytes);
         }
+        Ok(acc.iter_ones().map(u64::from).collect())
+    }
+
+    /// The parallel `T ⊇ Q` engine: a bounded-prefetch pipeline.
+    ///
+    /// Workers fetch slices ahead of the combiner, but never more than
+    /// `window = 2·threads` slices past its commit frontier, so the
+    /// physical overshoot past the serial early-exit point is bounded. The
+    /// combiner (this thread) consumes fetched slices **in serial order**,
+    /// ANDs them word-at-a-time, and stops at exactly the slice where the
+    /// serial protocol would stop — charging the same logical pages and
+    /// producing the same candidate bitmap. Speculative fetches beyond the
+    /// stop point count only as physical pages.
+    fn superset_positions_parallel(&self, ones: &[u32], n: u64) -> Result<Vec<u64>> {
+        /// A fetched slice's bytes plus the pages read to get them.
+        type SliceFetch = Result<(Vec<u8>, u64)>;
+        let threads = self.threads.min(ones.len());
+        let window = threads * 2;
+        struct Shared {
+            fetched: Vec<Option<SliceFetch>>,
+            /// Next slice index a worker will claim.
+            next: usize,
+            /// The combiner's consume frontier; workers stay within
+            /// `committed + window`.
+            committed: usize,
+            stop: bool,
+        }
+        let shared = Mutex::new(Shared {
+            fetched: (0..ones.len()).map(|_| None).collect(),
+            next: 0,
+            committed: 0,
+            stop: false,
+        });
+        let work = Condvar::new();
+        let data = Condvar::new();
+        let acc = std::thread::scope(|s| -> Result<Bitmap> {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let idx = {
+                        let mut g = shared.lock().unwrap();
+                        loop {
+                            if g.stop || g.next >= ones.len() {
+                                return;
+                            }
+                            if g.next < g.committed + window {
+                                break;
+                            }
+                            g = work.wait(g).unwrap();
+                        }
+                        let idx = g.next;
+                        g.next += 1;
+                        idx
+                    };
+                    let res = self.read_slice_bytes(ones[idx]);
+                    if let Ok((_, np)) = &res {
+                        self.scan.physical.fetch_add(*np, Ordering::Relaxed);
+                    }
+                    let mut g = shared.lock().unwrap();
+                    g.fetched[idx] = Some(res);
+                    data.notify_all();
+                });
+            }
+            let mut acc: Option<Bitmap> = None;
+            for k in 0..ones.len() {
+                let res = {
+                    let mut g = shared.lock().unwrap();
+                    loop {
+                        if let Some(r) = g.fetched[k].take() {
+                            break r;
+                        }
+                        g = data.wait(g).unwrap();
+                    }
+                };
+                let (bytes, np) = match res {
+                    Ok(v) => v,
+                    Err(e) => {
+                        let mut g = shared.lock().unwrap();
+                        g.stop = true;
+                        work.notify_all();
+                        return Err(e);
+                    }
+                };
+                self.scan.logical.fetch_add(np, Ordering::Relaxed);
+                let empty = match &mut acc {
+                    None => {
+                        let first = Bitmap::from_bytes(n as u32, &bytes);
+                        let z = first.is_zero();
+                        acc = Some(first);
+                        z
+                    }
+                    Some(a) => {
+                        a.and_assign_bytes(&bytes);
+                        a.is_zero()
+                    }
+                };
+                let mut g = shared.lock().unwrap();
+                g.committed = k + 1;
+                if empty {
+                    g.stop = true;
+                    work.notify_all();
+                    break;
+                }
+                work.notify_all();
+            }
+            Ok(acc.expect("ones is nonempty"))
+        })?;
         Ok(acc.iter_ones().map(u64::from).collect())
     }
 
@@ -223,14 +406,59 @@ impl Bssf {
     /// 0-positions; drops are the rows left clear. `slice_cap` limits how
     /// many zero-slices are read (`F − m_s` of them under the §5.2.2 smart
     /// strategy); `None` reads all `F − m_q`.
-    fn subset_positions(&self, query_sig: &Signature, slice_cap: Option<usize>) -> Result<Vec<u64>> {
+    ///
+    /// There is no early exit (a row cleared now can only stay clear), so
+    /// the parallel path lets workers pull slices from a shared queue into
+    /// per-worker accumulators and ORs those together at the join — every
+    /// slice is read exactly once, logical == physical, order irrelevant.
+    fn subset_positions(
+        &self,
+        query_sig: &Signature,
+        slice_cap: Option<usize>,
+    ) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let zeros: Vec<u32> = query_sig.bitmap().iter_zeros().collect();
         let take = slice_cap.unwrap_or(zeros.len()).min(zeros.len());
-        let mut acc = Bitmap::zeroed(n as u32);
-        for &j in &zeros[..take] {
-            acc.or_assign(&self.read_slice_rows(j)?);
-        }
+        let zeros = &zeros[..take];
+        let acc = if self.threads > 1 && zeros.len() > 1 {
+            let threads = self.threads.min(zeros.len());
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| -> Result<Bitmap> {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| -> Result<(Bitmap, u64)> {
+                            let mut local = Bitmap::zeroed(n as u32);
+                            let mut pages = 0u64;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= zeros.len() {
+                                    break;
+                                }
+                                let (bytes, np) = self.read_slice_bytes(zeros[i])?;
+                                pages += np;
+                                local.or_assign_bytes(&bytes);
+                            }
+                            Ok((local, pages))
+                        })
+                    })
+                    .collect();
+                let mut acc = Bitmap::zeroed(n as u32);
+                for h in handles {
+                    let (local, pages) = h.join().expect("slice worker panicked")?;
+                    self.scan.charge_both(pages);
+                    acc.or_assign(&local);
+                }
+                Ok(acc)
+            })?
+        } else {
+            let mut acc = Bitmap::zeroed(n as u32);
+            for &j in zeros {
+                let (bytes, np) = self.read_slice_bytes(j)?;
+                self.scan.charge_both(np);
+                acc.or_assign_bytes(&bytes);
+            }
+            acc
+        };
         Ok((0..n).filter(|&p| !acc.get(p as u32)).collect())
     }
 
@@ -238,23 +466,68 @@ impl Bssf {
     /// is clear. Reads all `F` slices.
     fn equals_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
         let sup = self.superset_positions(query_sig)?;
-        let sub: std::collections::BTreeSet<u64> =
-            self.subset_positions(query_sig, None)?.into_iter().collect();
+        let sub: std::collections::BTreeSet<u64> = self
+            .subset_positions(query_sig, None)?
+            .into_iter()
+            .collect();
         Ok(sup.into_iter().filter(|p| sub.contains(p)).collect())
     }
 
     /// Overlap scan: rows sharing at least `m` set bits with the query
     /// signature. Reads the `m_q` 1-slices and counts per row.
+    ///
+    /// Like the subset scan there is no early exit, so the parallel path
+    /// accumulates per-worker count vectors and sums them at the join.
     fn overlap_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
         let n = self.oid_file.len() as usize;
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
-        let mut counts = vec![0u16; n];
-        for &j in &ones {
-            let rows = self.read_slice_rows(j)?;
-            for p in rows.iter_ones() {
-                counts[p as usize] += 1;
+        let counts = if self.threads > 1 && ones.len() > 1 {
+            let threads = self.threads.min(ones.len());
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| -> Result<Vec<u16>> {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| -> Result<(Vec<u16>, u64)> {
+                            let mut local = vec![0u16; n];
+                            let mut pages = 0u64;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= ones.len() {
+                                    break;
+                                }
+                                let (bytes, np) = self.read_slice_bytes(ones[i])?;
+                                pages += np;
+                                let rows = Bitmap::from_bytes(n as u32, &bytes);
+                                for p in rows.iter_ones() {
+                                    local[p as usize] += 1;
+                                }
+                            }
+                            Ok((local, pages))
+                        })
+                    })
+                    .collect();
+                let mut counts = vec![0u16; n];
+                for h in handles {
+                    let (local, pages) = h.join().expect("slice worker panicked")?;
+                    self.scan.charge_both(pages);
+                    for (c, l) in counts.iter_mut().zip(&local) {
+                        *c += l;
+                    }
+                }
+                Ok(counts)
+            })?
+        } else {
+            let mut counts = vec![0u16; n];
+            for &j in &ones {
+                let (bytes, np) = self.read_slice_bytes(j)?;
+                self.scan.charge_both(np);
+                let rows = Bitmap::from_bytes(n as u32, &bytes);
+                for p in rows.iter_ones() {
+                    counts[p as usize] += 1;
+                }
             }
-        }
+            counts
+        };
         let m = self.cfg.m_weight() as u16;
         Ok(counts
             .iter()
@@ -266,9 +539,7 @@ impl Bssf {
 
     fn positions_for(&self, query: &SetQuery, query_sig: &Signature) -> Result<Vec<u64>> {
         match query.predicate {
-            SetPredicate::HasSubset | SetPredicate::Contains => {
-                self.superset_positions(query_sig)
-            }
+            SetPredicate::HasSubset | SetPredicate::Contains => self.superset_positions(query_sig),
             SetPredicate::InSubset => self.subset_positions(query_sig, None),
             SetPredicate::Equals => self.equals_positions(query_sig),
             SetPredicate::Overlaps => self.overlap_positions(query_sig),
@@ -276,8 +547,14 @@ impl Bssf {
     }
 
     fn resolve(&self, positions: Vec<u64>) -> Result<CandidateSet> {
+        // The OID look-up is part of the filtering stage's protocol charge
+        // (the paper's LC_OID); it is never speculative or parallel.
+        self.scan.charge_both(OidFile::pages_touched(&positions));
         let resolved = self.oid_file.lookup_positions(&positions)?;
-        Ok(CandidateSet::new(resolved.into_iter().map(|(_, oid)| oid).collect(), false))
+        Ok(CandidateSet::new(
+            resolved.into_iter().map(|(_, oid)| oid).collect(),
+            false,
+        ))
     }
 
     /// The §5.1.3 smart strategy for `T ⊇ Q`: form the query signature from
@@ -285,10 +562,17 @@ impl Bssf {
     /// query set, bounding the slice reads at `≈ max_elems · m` while the
     /// final qualification still uses the full predicate at drop-resolution
     /// time.
-    pub fn candidates_superset_smart(&self, query: &SetQuery, max_elems: usize) -> Result<CandidateSet> {
+    pub fn candidates_superset_smart(
+        &self,
+        query: &SetQuery,
+        max_elems: usize,
+    ) -> Result<CandidateSet> {
         if query.predicate != SetPredicate::HasSubset {
-            return Err(Error::BadQuery("smart superset strategy requires T ⊇ Q".into()));
+            return Err(Error::BadQuery(
+                "smart superset strategy requires T ⊇ Q".into(),
+            ));
         }
+        self.scan.reset();
         let take = query.elements.len().min(max_elems.max(1));
         let reduced = Signature::for_set(&self.cfg, &query.elements[..take]);
         let positions = self.superset_positions(&reduced)?;
@@ -299,10 +583,17 @@ impl Bssf {
     /// query signature's 0-slices (chosen arbitrarily — we take the lowest
     /// positions). Appendix C's `D_q^opt` determines the cap that minimizes
     /// total cost; `setsig-costmodel` computes it.
-    pub fn candidates_subset_smart(&self, query: &SetQuery, max_slices: usize) -> Result<CandidateSet> {
+    pub fn candidates_subset_smart(
+        &self,
+        query: &SetQuery,
+        max_slices: usize,
+    ) -> Result<CandidateSet> {
         if query.predicate != SetPredicate::InSubset {
-            return Err(Error::BadQuery("smart subset strategy requires T ⊆ Q".into()));
+            return Err(Error::BadQuery(
+                "smart subset strategy requires T ⊆ Q".into(),
+            ));
         }
+        self.scan.reset();
         let query_sig = query.signature(&self.cfg);
         let positions = self.subset_positions(&query_sig, Some(max_slices))?;
         self.resolve(positions)
@@ -328,6 +619,7 @@ impl SetAccessFacility for Bssf {
     }
 
     fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        self.scan.reset();
         let query_sig = query.signature(&self.cfg);
         let positions = self.positions_for(query, &query_sig)?;
         self.resolve(positions)
@@ -343,6 +635,14 @@ impl SetAccessFacility for Bssf {
             total += s.len()? as u64;
         }
         Ok(total)
+    }
+
+    fn cache_stats(&self) -> Option<setsig_pagestore::CacheStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
+    fn scan_stats(&self) -> Option<ScanStats> {
+        Some(self.last_scan_stats())
     }
 }
 
@@ -377,9 +677,11 @@ mod tests {
     #[test]
     fn superset_query_finds_matches() {
         let (_d, mut b) = bssf(64, 2);
-        b.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
+        b.insert(Oid::new(1), &keys(&["Baseball", "Fishing"]))
+            .unwrap();
         b.insert(Oid::new(2), &keys(&["Tennis"])).unwrap();
-        b.insert(Oid::new(3), &keys(&["Baseball", "Golf", "Fishing"])).unwrap();
+        b.insert(Oid::new(3), &keys(&["Baseball", "Golf", "Fishing"]))
+            .unwrap();
 
         let q = SetQuery::has_subset(keys(&["Baseball", "Fishing"]));
         let c = b.candidates(&q).unwrap();
@@ -391,8 +693,10 @@ mod tests {
     fn subset_query_finds_contained_sets() {
         let (_d, mut b) = bssf(128, 2);
         b.insert(Oid::new(1), &keys(&["Baseball"])).unwrap();
-        b.insert(Oid::new(2), &keys(&["Baseball", "Football"])).unwrap();
-        b.insert(Oid::new(3), &keys(&["Chess", "Go", "Shogi", "Backgammon"])).unwrap();
+        b.insert(Oid::new(2), &keys(&["Baseball", "Football"]))
+            .unwrap();
+        b.insert(Oid::new(3), &keys(&["Chess", "Go", "Shogi", "Backgammon"]))
+            .unwrap();
 
         let q = SetQuery::in_subset(keys(&["Baseball", "Football", "Tennis"]));
         let c = b.candidates(&q).unwrap();
@@ -442,7 +746,9 @@ mod tests {
         for (i, set) in sets.iter().enumerate() {
             let sig = Signature::for_set(dense.config(), set);
             dense.insert_signature(Oid::new(i as u64), &sig).unwrap();
-            sparse.insert_signature_sparse(Oid::new(i as u64), &sig).unwrap();
+            sparse
+                .insert_signature_sparse(Oid::new(i as u64), &sig)
+                .unwrap();
         }
         for probe in [0u64, 7, 23, 49] {
             let q = SetQuery::has_subset(vec![ElementKey::from(probe * 13)]);
@@ -457,7 +763,12 @@ mod tests {
     #[test]
     fn bulk_load_matches_incremental_build() {
         let items: Vec<(Oid, Vec<ElementKey>)> = (0..200u64)
-            .map(|i| (Oid::new(i), (0..3).map(|j| ElementKey::from(i * 7 + j)).collect()))
+            .map(|i| {
+                (
+                    Oid::new(i),
+                    (0..3).map(|j| ElementKey::from(i * 7 + j)).collect(),
+                )
+            })
             .collect();
         let (_d1, mut inc) = bssf(128, 2);
         for (oid, set) in &items {
@@ -613,7 +924,9 @@ mod tests {
         // the second page.
         let expected = (0..n).filter(|i| i % 97 == 42).count();
         assert!(c.len() >= expected);
-        assert!(c.oids.contains(&Oid::new(ROWS_PER_PAGE + 42 + 97 - (ROWS_PER_PAGE % 97))));
+        assert!(c
+            .oids
+            .contains(&Oid::new(ROWS_PER_PAGE + 42 + 97 - (ROWS_PER_PAGE % 97))));
     }
 
     #[test]
@@ -624,6 +937,181 @@ mod tests {
         }
         // 64 slices × 1 page + 1 OID page.
         assert_eq!(b.storage_pages().unwrap(), 65);
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use setsig_pagestore::Disk;
+
+    fn populated(f_bits: u32, m: u32, n: u64) -> (Arc<Disk>, Bssf) {
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let cfg = SignatureConfig::new(f_bits, m).unwrap();
+        let mut b = Bssf::create(io, "e", cfg).unwrap();
+        let items: Vec<(Oid, Vec<ElementKey>)> = (0..n)
+            .map(|i| {
+                (
+                    Oid::new(i),
+                    (0..4).map(|j| ElementKey::from(i * 17 + j)).collect(),
+                )
+            })
+            .collect();
+        b.bulk_load(&items).unwrap();
+        (disk, b)
+    }
+
+    fn queries() -> Vec<SetQuery> {
+        let mut qs = Vec::new();
+        for i in [0u64, 3, 11, 40, 77] {
+            qs.push(SetQuery::has_subset(vec![
+                ElementKey::from(i * 17),
+                ElementKey::from(i * 17 + 1),
+            ]));
+            qs.push(SetQuery::in_subset(
+                (0..6).map(|j| ElementKey::from(i * 17 + j)).collect(),
+            ));
+            qs.push(SetQuery::equals(
+                (0..4).map(|j| ElementKey::from(i * 17 + j)).collect(),
+            ));
+            qs.push(SetQuery::overlaps(vec![
+                ElementKey::from(i * 17 + 2),
+                ElementKey::from(999_999u64),
+            ]));
+        }
+        // A query with no matches, so the superset early exit fires.
+        qs.push(SetQuery::has_subset(vec![
+            ElementKey::from(500_000u64),
+            ElementKey::from(500_001u64),
+            ElementKey::from(500_002u64),
+            ElementKey::from(500_003u64),
+        ]));
+        qs
+    }
+
+    #[test]
+    fn serial_scan_stats_match_disk_reads() {
+        let (disk, b) = populated(128, 3, 120);
+        let q = SetQuery::has_subset(vec![ElementKey::from(3 * 17), ElementKey::from(3 * 17 + 1)]);
+        disk.reset_stats();
+        let _ = b.candidates(&q).unwrap();
+        let stats = b.last_scan_stats();
+        assert_eq!(
+            stats.logical_pages, stats.physical_pages,
+            "serial: no speculation"
+        );
+        // The filtering stage's charge is exactly its disk traffic: slice
+        // pages plus the OID-file look-up page.
+        assert_eq!(disk.snapshot().reads, stats.physical_pages);
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_candidates_and_logical_pages() {
+        let (_d1, serial) = populated(128, 3, 150);
+        let (_d2, mut par) = populated(128, 3, 150);
+        par.set_parallelism(8);
+        assert_eq!(par.parallelism(), 8);
+        for q in queries() {
+            let cs = serial.candidates(&q).unwrap();
+            let ss = serial.last_scan_stats();
+            let cp = par.candidates(&q).unwrap();
+            let sp = par.last_scan_stats();
+            assert_eq!(
+                cs, cp,
+                "candidate sets must be identical ({:?})",
+                q.predicate
+            );
+            assert_eq!(
+                ss.logical_pages, sp.logical_pages,
+                "logical pages must be identical ({:?})",
+                q.predicate
+            );
+            assert!(sp.physical_pages >= sp.logical_pages);
+            assert_eq!(ss.logical_pages, ss.physical_pages);
+        }
+    }
+
+    #[test]
+    fn parallel_overshoot_is_bounded_by_prefetch_window() {
+        let (_d, mut b) = populated(256, 4, 200);
+        b.set_parallelism(4);
+        // No match: the accumulator empties early and workers may have
+        // speculatively fetched ahead — but never past the window.
+        let q = SetQuery::has_subset(
+            (0..8)
+                .map(|j| ElementKey::from(700_000 + j))
+                .collect::<Vec<ElementKey>>(),
+        );
+        let _ = b.candidates(&q).unwrap();
+        let s = b.last_scan_stats();
+        assert!(s.physical_pages >= s.logical_pages);
+        // window = 2·threads slices, 1 page each at this size.
+        assert!(
+            s.physical_pages <= s.logical_pages + 2 * 4,
+            "overshoot {} pages exceeds window",
+            s.physical_pages - s.logical_pages
+        );
+    }
+
+    #[test]
+    fn cached_bssf_serves_repeat_queries_from_pool() {
+        let disk = Arc::new(Disk::new());
+        let cfg = SignatureConfig::new(64, 2).unwrap();
+        let mut b = Bssf::create_cached(Arc::clone(&disk), "c", cfg, 256).unwrap();
+        for i in 0..40u64 {
+            b.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        let q = SetQuery::has_subset(vec![ElementKey::from(7u64)]);
+        let first = b.candidates(&q).unwrap();
+        let first_stats = b.last_scan_stats();
+        disk.reset_stats();
+        let second = b.candidates(&q).unwrap();
+        let second_stats = b.last_scan_stats();
+        assert_eq!(first, second);
+        // Logical accounting is cache-independent...
+        assert_eq!(first_stats, second_stats);
+        // ...but the hot slices never reach the disk.
+        assert_eq!(
+            disk.snapshot().reads,
+            0,
+            "repeat query must be pool-resident"
+        );
+        let cache = b.cache_stats().expect("cached facility reports pool stats");
+        assert!(cache.hits > 0);
+        assert!(b.buffer_pool().is_some());
+    }
+
+    #[test]
+    fn uncached_bssf_reports_no_cache_stats() {
+        let (_d, b) = populated(64, 2, 10);
+        assert!(b.cache_stats().is_none());
+        assert!(b.buffer_pool().is_none());
+    }
+
+    #[test]
+    fn parallel_engine_handles_multi_page_slices() {
+        let n = ROWS_PER_PAGE + 500;
+        let items: Vec<(Oid, Vec<ElementKey>)> = (0..n)
+            .map(|i| (Oid::new(i), vec![ElementKey::from(i % 89)]))
+            .collect();
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut serial = Bssf::create(io, "m", SignatureConfig::new(32, 2).unwrap()).unwrap();
+        serial.bulk_load(&items).unwrap();
+        let disk2 = Arc::new(Disk::new());
+        let io2: Arc<dyn PageIo> = Arc::clone(&disk2) as Arc<dyn PageIo>;
+        let mut par = Bssf::create(io2, "m", SignatureConfig::new(32, 2).unwrap()).unwrap();
+        par.bulk_load(&items).unwrap();
+        par.set_parallelism(6);
+        for q in [
+            SetQuery::has_subset(vec![ElementKey::from(42u64)]),
+            SetQuery::in_subset(vec![ElementKey::from(1u64), ElementKey::from(2u64)]),
+        ] {
+            assert_eq!(serial.candidates(&q).unwrap(), par.candidates(&q).unwrap());
+            let (ss, sp) = (serial.last_scan_stats(), par.last_scan_stats());
+            assert_eq!(ss.logical_pages, sp.logical_pages);
+        }
     }
 }
 
@@ -658,7 +1146,12 @@ impl Bssf {
         let len = r.u64()?;
         let live = r.u64()?;
         let slices = (0..cfg.f_bits())
-            .map(|_| Ok(PagedFile::open(Arc::clone(&io), setsig_pagestore::FileId::from_raw(r.u32()?))))
+            .map(|_| {
+                Ok(PagedFile::open(
+                    Arc::clone(&io),
+                    setsig_pagestore::FileId::from_raw(r.u32()?),
+                ))
+            })
             .collect::<Result<Vec<_>>>()?;
         r.done()?;
         Ok(Bssf {
@@ -666,6 +1159,9 @@ impl Bssf {
             slices,
             oid_file: OidFile::reopen(PagedFile::open(io, oid_id), len, live),
             meta_file: Some(meta_file),
+            threads: 1,
+            pool: None,
+            scan: ScanCounters::default(),
         })
     }
 }
@@ -689,7 +1185,8 @@ mod meta_tests {
         let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
         let cfg = SignatureConfig::new(64, 2).unwrap();
         let mut bssf = Bssf::create(io, "h", cfg).unwrap();
-        bssf.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
+        bssf.insert(Oid::new(1), &keys(&["Baseball", "Fishing"]))
+            .unwrap();
         bssf.insert(Oid::new(2), &keys(&["Tennis"])).unwrap();
         bssf.delete(Oid::new(2), &keys(&["Tennis"])).unwrap();
         let meta = bssf.sync_meta().unwrap();
@@ -718,9 +1215,13 @@ mod meta_tests {
     fn open_rejects_foreign_meta() {
         let disk = Arc::new(Disk::new());
         let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
-        let mut ssf = crate::Ssf::create(Arc::clone(&io), "s", SignatureConfig::new(64, 2).unwrap()).unwrap();
+        let mut ssf =
+            crate::Ssf::create(Arc::clone(&io), "s", SignatureConfig::new(64, 2).unwrap()).unwrap();
         let ssf_meta = ssf.sync_meta().unwrap();
-        assert!(Bssf::open(io, ssf_meta).is_err(), "magic mismatch must fail");
+        assert!(
+            Bssf::open(io, ssf_meta).is_err(),
+            "magic mismatch must fail"
+        );
     }
 }
 
@@ -766,7 +1267,10 @@ mod batch_tests {
     fn items(n: u64) -> Vec<(Oid, Vec<ElementKey>)> {
         (0..n)
             .map(|i| {
-                (Oid::new(i), (0..5u64).map(|j| ElementKey::from(i * 11 + j)).collect())
+                (
+                    Oid::new(i),
+                    (0..5u64).map(|j| ElementKey::from(i * 11 + j)).collect(),
+                )
             })
             .collect()
     }
@@ -823,7 +1327,8 @@ mod batch_tests {
         let disk = Arc::new(Disk::new());
         let mut b = bssf(&disk);
         b.insert_batch(&items(10)).unwrap();
-        b.insert(Oid::new(999), &[ElementKey::from(12345u64)]).unwrap();
+        b.insert(Oid::new(999), &[ElementKey::from(12345u64)])
+            .unwrap();
         let q = SetQuery::has_subset(vec![ElementKey::from(12345u64)]);
         assert!(b.candidates(&q).unwrap().oids.contains(&Oid::new(999)));
         assert_eq!(b.indexed_count(), 11);

@@ -28,15 +28,23 @@ impl SignatureConfig {
     /// Creates a configuration with an explicit hash seed.
     pub fn with_seed(f_bits: u32, m_weight: u32, seed: u64) -> Result<Self> {
         if f_bits < 8 {
-            return Err(Error::BadConfig(format!("F = {f_bits} too small (need ≥ 8)")));
+            return Err(Error::BadConfig(format!(
+                "F = {f_bits} too small (need ≥ 8)"
+            )));
         }
         if m_weight == 0 {
             return Err(Error::BadConfig("m must be at least 1".into()));
         }
         if m_weight > f_bits {
-            return Err(Error::BadConfig(format!("m = {m_weight} exceeds F = {f_bits}")));
+            return Err(Error::BadConfig(format!(
+                "m = {m_weight} exceeds F = {f_bits}"
+            )));
         }
-        Ok(SignatureConfig { f_bits, m_weight, seed })
+        Ok(SignatureConfig {
+            f_bits,
+            m_weight,
+            seed,
+        })
     }
 
     /// Signature width `F` in bits.

@@ -56,7 +56,11 @@ impl DropReport {
 }
 
 /// Exact evaluation of a set predicate against a stored target set.
-pub fn verify_predicate(predicate: SetPredicate, target: &ElementSet, query: &[ElementKey]) -> bool {
+pub fn verify_predicate(
+    predicate: SetPredicate,
+    target: &ElementSet,
+    query: &[ElementKey],
+) -> bool {
     match predicate {
         SetPredicate::HasSubset | SetPredicate::Contains => {
             query.iter().all(|e| target.contains(e))
@@ -117,8 +121,16 @@ mod tests {
     #[test]
     fn verify_has_subset() {
         let t = set(&["Baseball", "Golf", "Fishing"]);
-        assert!(verify_predicate(SetPredicate::HasSubset, &t, &sorted_keys(&["Baseball", "Fishing"])));
-        assert!(!verify_predicate(SetPredicate::HasSubset, &t, &sorted_keys(&["Baseball", "Tennis"])));
+        assert!(verify_predicate(
+            SetPredicate::HasSubset,
+            &t,
+            &sorted_keys(&["Baseball", "Fishing"])
+        ));
+        assert!(!verify_predicate(
+            SetPredicate::HasSubset,
+            &t,
+            &sorted_keys(&["Baseball", "Tennis"])
+        ));
         // Empty query set: trivially satisfied.
         assert!(verify_predicate(SetPredicate::HasSubset, &t, &[]));
     }
@@ -126,8 +138,16 @@ mod tests {
     #[test]
     fn verify_in_subset() {
         let t = set(&["Baseball", "Football"]);
-        assert!(verify_predicate(SetPredicate::InSubset, &t, &sorted_keys(&["Baseball", "Football", "Tennis"])));
-        assert!(!verify_predicate(SetPredicate::InSubset, &t, &sorted_keys(&["Baseball", "Tennis"])));
+        assert!(verify_predicate(
+            SetPredicate::InSubset,
+            &t,
+            &sorted_keys(&["Baseball", "Football", "Tennis"])
+        ));
+        assert!(!verify_predicate(
+            SetPredicate::InSubset,
+            &t,
+            &sorted_keys(&["Baseball", "Tennis"])
+        ));
         // Empty target: subset of anything.
         assert!(verify_predicate(SetPredicate::InSubset, &set(&[]), &[]));
     }
@@ -135,12 +155,36 @@ mod tests {
     #[test]
     fn verify_equals_overlaps_contains() {
         let t = set(&["a", "b"]);
-        assert!(verify_predicate(SetPredicate::Equals, &t, &sorted_keys(&["a", "b"])));
-        assert!(!verify_predicate(SetPredicate::Equals, &t, &sorted_keys(&["a"])));
-        assert!(!verify_predicate(SetPredicate::Equals, &t, &sorted_keys(&["a", "b", "c"])));
-        assert!(verify_predicate(SetPredicate::Overlaps, &t, &sorted_keys(&["b", "z"])));
-        assert!(!verify_predicate(SetPredicate::Overlaps, &t, &sorted_keys(&["y", "z"])));
-        assert!(verify_predicate(SetPredicate::Contains, &t, &sorted_keys(&["a"])));
+        assert!(verify_predicate(
+            SetPredicate::Equals,
+            &t,
+            &sorted_keys(&["a", "b"])
+        ));
+        assert!(!verify_predicate(
+            SetPredicate::Equals,
+            &t,
+            &sorted_keys(&["a"])
+        ));
+        assert!(!verify_predicate(
+            SetPredicate::Equals,
+            &t,
+            &sorted_keys(&["a", "b", "c"])
+        ));
+        assert!(verify_predicate(
+            SetPredicate::Overlaps,
+            &t,
+            &sorted_keys(&["b", "z"])
+        ));
+        assert!(!verify_predicate(
+            SetPredicate::Overlaps,
+            &t,
+            &sorted_keys(&["y", "z"])
+        ));
+        assert!(verify_predicate(
+            SetPredicate::Contains,
+            &t,
+            &sorted_keys(&["a"])
+        ));
     }
 
     #[test]

@@ -167,6 +167,9 @@ mod tests {
     fn debug_renders_readably() {
         assert_eq!(format!("{:?}", ElementKey::from("x")), "Elem(\"x\")");
         assert_eq!(format!("{:?}", ElementKey::from(3u64)), "Elem(3)");
-        assert_eq!(format!("{:?}", ElementKey::from(Oid::new(3))), "Elem(oid:3)");
+        assert_eq!(
+            format!("{:?}", ElementKey::from(Oid::new(3))),
+            "Elem(oid:3)"
+        );
     }
 }

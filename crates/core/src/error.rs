@@ -30,7 +30,10 @@ impl std::fmt::Display for Error {
             Error::BadConfig(msg) => write!(f, "bad signature configuration: {msg}"),
             Error::BadQuery(msg) => write!(f, "bad query: {msg}"),
             Error::WidthMismatch { expected, got } => {
-                write!(f, "signature width mismatch: expected {expected} bits, got {got}")
+                write!(
+                    f,
+                    "signature width mismatch: expected {expected} bits, got {got}"
+                )
             }
             Error::NoSuchEntry(pos) => write!(f, "no entry at position {pos}"),
             Error::OidNotFound(oid) => write!(f, "oid {oid:?} not found"),

@@ -4,6 +4,61 @@ use crate::element::ElementKey;
 use crate::error::Result;
 use crate::oid::Oid;
 use crate::query::SetQuery;
+use setsig_pagestore::CacheStats;
+
+/// Page-access accounting for the most recent filtering stage of a
+/// signature-file scan engine, including the OID-file look-up that maps
+/// matching signature positions to candidate OIDs (the paper's `LC_OID`).
+///
+/// The *logical* count is what the paper's serial protocol charges — it is
+/// identical whether the engine runs serially or fans slice fetches across
+/// threads, and whether reads are served from a buffer pool or from disk.
+/// The *physical* count is the pages the engine actually requested from its
+/// I/O layer; the parallel engine may speculatively fetch a bounded number
+/// of slices past the early-termination point, so `physical_pages ≥
+/// logical_pages`, with equality on the serial path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Slice/signature pages the serial protocol charges for the scan.
+    pub logical_pages: u64,
+    /// Slice/signature pages actually requested from the I/O layer.
+    pub physical_pages: u64,
+}
+
+/// Interior-mutable page counters behind [`ScanStats`], shared by the SSF
+/// and BSSF scan engines.
+///
+/// Counters are reset at each public `candidates*` entry, so the values are
+/// meaningful for non-overlapping queries; concurrent queries on a shared
+/// facility interleave their counts.
+#[derive(Debug, Default)]
+pub(crate) struct ScanCounters {
+    pub(crate) logical: std::sync::atomic::AtomicU64,
+    pub(crate) physical: std::sync::atomic::AtomicU64,
+}
+
+impl ScanCounters {
+    pub(crate) fn reset(&self) {
+        use std::sync::atomic::Ordering;
+        self.logical.store(0, Ordering::Relaxed);
+        self.physical.store(0, Ordering::Relaxed);
+    }
+
+    /// Charges pages read on a non-speculative path (logical == physical).
+    pub(crate) fn charge_both(&self, pages: u64) {
+        use std::sync::atomic::Ordering;
+        self.logical.fetch_add(pages, Ordering::Relaxed);
+        self.physical.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> ScanStats {
+        use std::sync::atomic::Ordering;
+        ScanStats {
+            logical_pages: self.logical.load(Ordering::Relaxed),
+            physical_pages: self.physical.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// The candidate objects (*drops*) produced by the filtering stage of a set
 /// access facility, before false-drop resolution.
@@ -68,6 +123,22 @@ pub trait SetAccessFacility {
     /// Pages occupied by the facility — the measured counterpart of the
     /// paper's storage cost `SC`.
     fn storage_pages(&self) -> Result<u64>;
+
+    /// Hit/miss counters of the facility's buffer pool, when its reads are
+    /// routed through one ([`BufferPool`](setsig_pagestore::BufferPool));
+    /// `None` for uncached facilities.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Page accounting for the most recent `candidates*` call, when the
+    /// facility's scan engine tracks it; `None` otherwise. The logical
+    /// count is the paper's serial protocol charge regardless of engine
+    /// parallelism or buffering, so measurement harnesses should prefer it
+    /// over raw disk deltas.
+    fn scan_stats(&self) -> Option<ScanStats> {
+        None
+    }
 }
 
 #[cfg(test)]

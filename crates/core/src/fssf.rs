@@ -21,7 +21,7 @@
 //! * The false drop probability matches BSSF's Eq. (2): within a frame the
 //!   ones-fraction is `1 − (1 − m/s)^{D_t/k} ≈ 1 − e^{−m·D_t/F}`.
 
-use setsig_pagestore::{PagedFile, PageIo, PAGE_SIZE};
+use setsig_pagestore::{PageIo, PagedFile, PAGE_SIZE};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -66,7 +66,12 @@ impl FssfConfig {
         if s as usize > PAGE_SIZE * 8 {
             return Err(Error::BadConfig(format!("frame width {s} exceeds a page")));
         }
-        Ok(FssfConfig { f_bits, frames, m_weight, seed })
+        Ok(FssfConfig {
+            f_bits,
+            frames,
+            m_weight,
+            seed,
+        })
     }
 
     /// Total signature width `F`.
@@ -101,7 +106,8 @@ impl FssfConfig {
 
     /// The element's `m` bit positions *within its frame*.
     pub fn frame_positions(&self, element: &ElementKey) -> Vec<u32> {
-        ElementHasher::new(self.frame_bits(), self.seed).positions(element.as_bytes(), self.m_weight)
+        ElementHasher::new(self.frame_bits(), self.seed)
+            .positions(element.as_bytes(), self.m_weight)
     }
 }
 
@@ -140,7 +146,10 @@ impl Fssf {
 
     fn row_location(&self, pos: u64) -> (u32, usize) {
         let rpp = self.cfg.rows_per_page();
-        ((pos / rpp) as u32, (pos % rpp) as usize * self.cfg.frame_bits() as usize)
+        (
+            (pos / rpp) as u32,
+            (pos % rpp) as usize * self.cfg.frame_bits() as usize,
+        )
     }
 
     /// Groups a set's elements by frame, OR-ing their frame signatures.
@@ -284,7 +293,10 @@ impl Fssf {
 
     fn resolve(&self, positions: Vec<u64>) -> Result<CandidateSet> {
         let resolved = self.oid_file.lookup_positions(&positions)?;
-        Ok(CandidateSet::new(resolved.into_iter().map(|(_, oid)| oid).collect(), false))
+        Ok(CandidateSet::new(
+            resolved.into_iter().map(|(_, oid)| oid).collect(),
+            false,
+        ))
     }
 }
 
@@ -376,7 +388,10 @@ mod tests {
     fn config_validation() {
         assert!(FssfConfig::new(500, 50, 3).is_ok());
         assert!(FssfConfig::new(500, 7, 3).is_err(), "k must divide F");
-        assert!(FssfConfig::new(500, 50, 11).is_err(), "m must fit the frame");
+        assert!(
+            FssfConfig::new(500, 50, 11).is_err(),
+            "m must fit the frame"
+        );
         assert!(FssfConfig::new(500, 0, 1).is_err());
         let c = FssfConfig::new(500, 50, 3).unwrap();
         assert_eq!(c.frame_bits(), 10);
@@ -386,9 +401,11 @@ mod tests {
     #[test]
     fn superset_query_finds_matches() {
         let (_d, mut f) = fssf(160, 16, 2);
-        f.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
+        f.insert(Oid::new(1), &keys(&["Baseball", "Fishing"]))
+            .unwrap();
         f.insert(Oid::new(2), &keys(&["Tennis"])).unwrap();
-        f.insert(Oid::new(3), &keys(&["Baseball", "Golf", "Fishing"])).unwrap();
+        f.insert(Oid::new(3), &keys(&["Baseball", "Golf", "Fishing"]))
+            .unwrap();
         let q = SetQuery::has_subset(keys(&["Baseball", "Fishing"]));
         let c = f.candidates(&q).unwrap();
         assert!(c.oids.contains(&Oid::new(1)));
@@ -402,17 +419,23 @@ mod tests {
         f.insert(Oid::new(2), &keys(&["a", "c", "d", "e"])).unwrap();
         f.insert(Oid::new(3), &keys(&["x"])).unwrap();
 
-        let c = f.candidates(&SetQuery::in_subset(keys(&["a", "b", "z"]))).unwrap();
+        let c = f
+            .candidates(&SetQuery::in_subset(keys(&["a", "b", "z"])))
+            .unwrap();
         assert!(c.oids.contains(&Oid::new(1)));
 
         let c = f.candidates(&SetQuery::equals(keys(&["b", "a"]))).unwrap();
         assert!(c.oids.contains(&Oid::new(1)));
 
-        let c = f.candidates(&SetQuery::overlaps(keys(&["c", "q"]))).unwrap();
+        let c = f
+            .candidates(&SetQuery::overlaps(keys(&["c", "q"])))
+            .unwrap();
         assert!(c.oids.contains(&Oid::new(2)));
         assert!(!c.oids.contains(&Oid::new(3)));
 
-        let c = f.candidates(&SetQuery::contains(ElementKey::from("x"))).unwrap();
+        let c = f
+            .candidates(&SetQuery::contains(ElementKey::from("x")))
+            .unwrap();
         assert!(c.oids.contains(&Oid::new(3)));
     }
 
@@ -466,7 +489,11 @@ mod tests {
         // All 16 frames (1 page each) must be consulted (early exit may
         // save a few once the accumulator empties; with matches present it
         // cannot).
-        assert!(disk.snapshot().reads >= 16, "reads {}", disk.snapshot().reads);
+        assert!(
+            disk.snapshot().reads >= 16,
+            "reads {}",
+            disk.snapshot().reads
+        );
     }
 
     #[test]
@@ -476,8 +503,7 @@ mod tests {
         let (_d1, mut f) = fssf(128, 16, 2);
         let disk2 = Arc::new(Disk::new());
         let io2: Arc<dyn PageIo> = Arc::clone(&disk2) as Arc<dyn PageIo>;
-        let mut b =
-            crate::Bssf::create(io2, "b", SignatureConfig::new(128, 2).unwrap()).unwrap();
+        let mut b = crate::Bssf::create(io2, "b", SignatureConfig::new(128, 2).unwrap()).unwrap();
         let sets: Vec<Vec<ElementKey>> = (0..80u64)
             .map(|i| (0..4).map(|j| ElementKey::from(i * 13 + j)).collect())
             .collect();
@@ -553,7 +579,7 @@ impl Fssf {
             w.u32(frame.id().raw());
         }
         let io = Arc::clone(self.oid_file.file().io());
-        Ok(crate::meta::checkpoint(&io, &mut self.meta_file, "fssf", &w.finish())?)
+        crate::meta::checkpoint(&io, &mut self.meta_file, "fssf", &w.finish())
     }
 
     /// Reopens an FSSF from a [`Fssf::sync_meta`] checkpoint.
@@ -598,8 +624,10 @@ mod meta_tests {
         let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
         let cfg = FssfConfig::new(160, 16, 2).unwrap();
         let mut f = Fssf::create(io, "h", cfg).unwrap();
-        f.insert(Oid::new(1), &[ElementKey::from("Baseball")]).unwrap();
-        f.insert(Oid::new(2), &[ElementKey::from("Tennis")]).unwrap();
+        f.insert(Oid::new(1), &[ElementKey::from("Baseball")])
+            .unwrap();
+        f.insert(Oid::new(2), &[ElementKey::from("Tennis")])
+            .unwrap();
         let meta = f.sync_meta().unwrap();
         disk.save_to(&path).unwrap();
 
@@ -609,7 +637,9 @@ mod meta_tests {
         assert_eq!(reopened.indexed_count(), 2);
         let q = SetQuery::contains(ElementKey::from("Baseball"));
         assert_eq!(reopened.candidates(&q).unwrap().oids, vec![Oid::new(1)]);
-        reopened.insert(Oid::new(3), &[ElementKey::from("Baseball")]).unwrap();
+        reopened
+            .insert(Oid::new(3), &[ElementKey::from("Baseball")])
+            .unwrap();
         assert_eq!(
             reopened.candidates(&q).unwrap().oids,
             vec![Oid::new(1), Oid::new(3)]

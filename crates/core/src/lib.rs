@@ -82,11 +82,11 @@ pub use config::SignatureConfig;
 pub use drops::{resolve_drops, verify_predicate, DropReport, ElementSet, TargetSetSource};
 pub use element::ElementKey;
 pub use error::{Error, Result};
-pub use facility::{CandidateSet, SetAccessFacility};
+pub use facility::{CandidateSet, ScanStats, SetAccessFacility};
 pub use fssf::{Fssf, FssfConfig};
 pub use hash::{element_hash, ElementHasher};
 pub use oid::{Oid, OidAllocator};
-pub use oidfile::{OidFile, OID_ENTRY_BYTES, OIDS_PER_PAGE};
+pub use oidfile::{OidFile, OIDS_PER_PAGE, OID_ENTRY_BYTES};
 pub use query::{SetPredicate, SetQuery};
 pub use signature::Signature;
 pub use ssf::Ssf;

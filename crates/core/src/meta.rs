@@ -7,7 +7,7 @@
 //! `sync_meta()` and be reconstructed with `open()`. Checkpoints are
 //! explicit, so the per-operation page costs stay exactly the paper's.
 
-use setsig_pagestore::{FileId, PagedFile, PageIo};
+use setsig_pagestore::{FileId, PageIo, PagedFile};
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
@@ -19,7 +19,9 @@ pub(crate) struct MetaWriter {
 
 impl MetaWriter {
     pub(crate) fn new(magic: &[u8; 4]) -> Self {
-        MetaWriter { buf: magic.to_vec() }
+        MetaWriter {
+            buf: magic.to_vec(),
+        }
     }
 
     pub(crate) fn u32(&mut self, v: u32) {

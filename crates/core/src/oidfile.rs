@@ -11,7 +11,7 @@
 //! Locating the entry for an OID requires a sequential scan — expected
 //! `SC_OID/2` page reads, the paper's `UC_D`.
 
-use setsig_pagestore::{PagedFile, PageIo, PAGE_SIZE};
+use setsig_pagestore::{PageIo, PagedFile, PAGE_SIZE};
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
@@ -35,7 +35,11 @@ pub struct OidFile {
 impl OidFile {
     /// Creates an empty OID file named `name` on `io`.
     pub fn create(io: Arc<dyn PageIo>, name: &str) -> Self {
-        OidFile { file: PagedFile::create(io, name), len: 0, live: 0 }
+        OidFile {
+            file: PagedFile::create(io, name),
+            len: 0,
+            live: 0,
+        }
     }
 
     /// Number of entries ever appended (including tombstoned ones) — the
@@ -88,7 +92,8 @@ impl OidFile {
             debug_assert_eq!(appended, page_no);
         } else {
             // Blind in-place update of the known tail slot: one write.
-            self.file.update(page_no, |page| page.write_u64(off, oid.raw()))?;
+            self.file
+                .update(page_no, |page| page.write_u64(off, oid.raw()))?;
         }
         self.len += 1;
         self.live += 1;
@@ -103,7 +108,26 @@ impl OidFile {
         }
         let page = self.file.read(Self::page_of(pos))?;
         let raw = page.read_u64(Self::offset_of(pos));
-        Ok(if raw & TOMBSTONE_BIT != 0 { None } else { Some(Oid::new(raw)) })
+        Ok(if raw & TOMBSTONE_BIT != 0 {
+            None
+        } else {
+            Some(Oid::new(raw))
+        })
+    }
+
+    /// Pages a [`OidFile::lookup_positions`] over this **sorted** position
+    /// list will read — the paper's `LC_OID` charge for the look-up step.
+    pub fn pages_touched(positions: &[u64]) -> u64 {
+        let mut pages = 0;
+        let mut last = None;
+        for &p in positions {
+            let page = Self::page_of(p);
+            if last != Some(page) {
+                pages += 1;
+                last = Some(page);
+            }
+        }
+        pages
     }
 
     /// Resolves a **sorted** list of positions to live OIDs, skipping
@@ -113,7 +137,10 @@ impl OidFile {
     /// `LC_OID` (one read per OID-file page containing at least one
     /// candidate, capped at `SC_OID`).
     pub fn lookup_positions(&self, positions: &[u64]) -> Result<Vec<(u64, Oid)>> {
-        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions must be sorted+unique");
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must be sorted+unique"
+        );
         let mut out = Vec::with_capacity(positions.len());
         let mut i = 0;
         while i < positions.len() {
@@ -306,7 +333,10 @@ mod tests {
         }
         assert_eq!(f.storage_pages().unwrap(), 2);
         assert_eq!(f.get(OIDS_PER_PAGE).unwrap(), Some(Oid::new(OIDS_PER_PAGE)));
-        assert_eq!(f.get(OIDS_PER_PAGE - 1).unwrap(), Some(Oid::new(OIDS_PER_PAGE - 1)));
+        assert_eq!(
+            f.get(OIDS_PER_PAGE - 1).unwrap(),
+            Some(Oid::new(OIDS_PER_PAGE - 1))
+        );
     }
 
     #[test]
@@ -353,7 +383,10 @@ mod tests {
         assert_eq!((d.reads, d.writes), (2, 1));
         assert_eq!(f.get(pos).unwrap(), None);
         // Deleting an absent OID reports OidNotFound.
-        assert!(matches!(f.delete_by_oid(Oid::new(999_999)), Err(Error::OidNotFound(_))));
+        assert!(matches!(
+            f.delete_by_oid(Oid::new(999_999)),
+            Err(Error::OidNotFound(_))
+        ));
     }
 
     #[test]
@@ -367,7 +400,12 @@ mod tests {
         let live = f.scan_live().unwrap();
         assert_eq!(
             live,
-            vec![(1, Oid::new(10)), (2, Oid::new(20)), (3, Oid::new(30)), (5, Oid::new(50))]
+            vec![
+                (1, Oid::new(10)),
+                (2, Oid::new(20)),
+                (3, Oid::new(30)),
+                (5, Oid::new(50))
+            ]
         );
     }
 }

@@ -61,7 +61,10 @@ impl SetQuery {
     pub fn new(predicate: SetPredicate, mut elements: Vec<ElementKey>) -> Self {
         elements.sort_unstable();
         elements.dedup();
-        SetQuery { predicate, elements }
+        SetQuery {
+            predicate,
+            elements,
+        }
     }
 
     /// `T ⊇ Q` — "find objects whose set includes all of `elements`".
@@ -135,8 +138,14 @@ mod tests {
 
     #[test]
     fn constructors_set_predicates() {
-        assert_eq!(SetQuery::has_subset(vec![]).predicate, SetPredicate::HasSubset);
-        assert_eq!(SetQuery::in_subset(vec![]).predicate, SetPredicate::InSubset);
+        assert_eq!(
+            SetQuery::has_subset(vec![]).predicate,
+            SetPredicate::HasSubset
+        );
+        assert_eq!(
+            SetQuery::in_subset(vec![]).predicate,
+            SetPredicate::InSubset
+        );
         assert_eq!(SetQuery::equals(vec![]).predicate, SetPredicate::Equals);
         assert_eq!(SetQuery::overlaps(vec![]).predicate, SetPredicate::Overlaps);
         let c = SetQuery::contains(ElementKey::from("x"));

@@ -20,14 +20,18 @@ pub struct Signature {
 impl Signature {
     /// The all-zero signature (of the empty set).
     pub fn empty(cfg: &SignatureConfig) -> Self {
-        Signature { bits: Bitmap::zeroed(cfg.f_bits()) }
+        Signature {
+            bits: Bitmap::zeroed(cfg.f_bits()),
+        }
     }
 
     /// The element signature of `element`: `m` distinct bits out of `F`.
     pub fn for_element(cfg: &SignatureConfig, element: &ElementKey) -> Self {
         let hasher = ElementHasher::new(cfg.f_bits(), cfg.seed());
         let positions = hasher.positions(element.as_bytes(), cfg.m_weight());
-        Signature { bits: Bitmap::from_positions(cfg.f_bits(), &positions) }
+        Signature {
+            bits: Bitmap::from_positions(cfg.f_bits(), &positions),
+        }
     }
 
     /// The set signature of `elements`: OR of the element signatures.
@@ -50,7 +54,9 @@ impl Signature {
 
     /// Reconstructs a signature from its serialized bytes.
     pub fn from_bytes(f_bits: u32, bytes: &[u8]) -> Self {
-        Signature { bits: Bitmap::from_bytes(f_bits, bytes) }
+        Signature {
+            bits: Bitmap::from_bytes(f_bits, bytes),
+        }
     }
 
     /// Serialized form: `⌈F/8⌉` bytes, LSB-first.
@@ -107,7 +113,12 @@ impl Signature {
 
 impl std::fmt::Debug for Signature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Signature[F={}, weight={}]", self.f_bits(), self.weight())
+        write!(
+            f,
+            "Signature[F={}, weight={}]",
+            self.f_bits(),
+            self.weight()
+        )
     }
 }
 

@@ -11,16 +11,17 @@
 //! file (`UC_I = 2`), deletion tombstones the OID file entry (`UC_D =
 //! SC_OID/2`).
 
-use setsig_pagestore::{Page, PagedFile, PageIo, PAGE_SIZE};
+use setsig_pagestore::{BufferPool, Page, PageIo, PagedFile, PAGE_SIZE};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::config::SignatureConfig;
 use crate::element::ElementKey;
 use crate::error::{Error, Result};
-use crate::facility::{CandidateSet, SetAccessFacility};
+use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
 use crate::oid::Oid;
 use crate::oidfile::OidFile;
-use crate::query::SetQuery;
+use crate::query::{SetPredicate, SetQuery};
 use crate::signature::Signature;
 
 /// A sequential signature file with its companion OID file.
@@ -32,6 +33,12 @@ pub struct Ssf {
     per_page: u64,
     /// Catalog checkpoint file; created lazily by [`Ssf::sync_meta`].
     meta_file: Option<PagedFile>,
+    /// Worker threads for signature scans; `1` scans serially.
+    threads: usize,
+    /// The buffer pool signature reads are routed through when built via
+    /// [`Ssf::create_cached`].
+    pool: Option<Arc<BufferPool>>,
+    scan: ScanCounters,
 }
 
 impl Ssf {
@@ -52,7 +59,50 @@ impl Ssf {
             sig_bytes,
             per_page,
             meta_file: None,
+            threads: 1,
+            pool: None,
+            scan: ScanCounters::default(),
         })
+    }
+
+    /// Creates an empty SSF whose signature and OID reads are routed
+    /// through a fresh [`BufferPool`] of `pool_pages` frames over `disk`.
+    pub fn create_cached(
+        disk: Arc<setsig_pagestore::Disk>,
+        name: &str,
+        cfg: SignatureConfig,
+        pool_pages: usize,
+    ) -> Result<Self> {
+        let pool = Arc::new(BufferPool::new(disk, pool_pages));
+        let io: Arc<dyn PageIo> = Arc::clone(&pool) as Arc<dyn PageIo>;
+        let mut ssf = Self::create(io, name, cfg)?;
+        ssf.pool = Some(pool);
+        Ok(ssf)
+    }
+
+    /// Sets the number of worker threads for signature scans. `1` (the
+    /// default) scans serially; higher values partition the signature pages
+    /// across scoped threads. Candidate sets and page counts are identical
+    /// either way — every page is read exactly once.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Current worker-thread count for signature scans.
+    pub fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    /// The buffer pool reads are routed through, when built via
+    /// [`Ssf::create_cached`].
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Page-access accounting of the most recent filtering scan. SSF has
+    /// no speculative path, so `logical_pages == physical_pages` always.
+    pub fn last_scan_stats(&self) -> ScanStats {
+        self.scan.stats()
     }
 
     /// The signature design parameters.
@@ -76,7 +126,10 @@ impl Ssf {
     }
 
     fn slot_of(&self, pos: u64) -> (u32, usize) {
-        ((pos / self.per_page) as u32, (pos % self.per_page) as usize * self.sig_bytes)
+        (
+            (pos / self.per_page) as u32,
+            (pos % self.per_page) as usize * self.sig_bytes,
+        )
     }
 
     /// Appends `sig` for `oid`, returning the entry position.
@@ -84,7 +137,10 @@ impl Ssf {
     /// Cost on an uncached disk: exactly 2 page writes (`UC_I = 2`).
     pub fn insert_signature(&mut self, oid: Oid, sig: &Signature) -> Result<u64> {
         if sig.f_bits() != self.cfg.f_bits() {
-            return Err(Error::WidthMismatch { expected: self.cfg.f_bits(), got: sig.f_bits() });
+            return Err(Error::WidthMismatch {
+                expected: self.cfg.f_bits(),
+                got: sig.f_bits(),
+            });
         }
         let pos = self.oid_file.len();
         let (page_no, off) = self.slot_of(pos);
@@ -95,7 +151,8 @@ impl Ssf {
             let appended = self.sig_file.append(&page)?;
             debug_assert_eq!(appended, page_no);
         } else {
-            self.sig_file.update(page_no, |page| page.write_slice(off, &bytes))?;
+            self.sig_file
+                .update(page_no, |page| page.write_slice(off, &bytes))?;
         }
         let opos = self.oid_file.append(oid)?;
         debug_assert_eq!(opos, pos);
@@ -109,12 +166,115 @@ impl Ssf {
         }
         let (page_no, off) = self.slot_of(pos);
         let page = self.sig_file.read(page_no)?;
-        Ok(Signature::from_bytes(self.cfg.f_bits(), page.read_slice(off, self.sig_bytes)))
+        Ok(Signature::from_bytes(
+            self.cfg.f_bits(),
+            page.read_slice(off, self.sig_bytes),
+        ))
     }
 
     /// Full scan of the signature file, returning the positions whose
-    /// signatures match `query` (§4.1 step 2). Reads every signature page.
+    /// signatures match `query` (§4.1 step 2). Reads every signature page
+    /// exactly once, serial or parallel.
+    ///
+    /// This is the batched row-scan path: each fetched page's rows are
+    /// matched **in place** with the word-at-a-time byte kernels of
+    /// [`Bitmap`](crate::Bitmap) — no per-row signature is materialized.
+    /// With `threads > 1` the page range is partitioned across scoped
+    /// worker threads and the per-page hit lists are merged in page order,
+    /// so the result is byte-identical to the serial scan.
     pub fn scan_matching_positions(&self, query: &SetQuery) -> Result<Vec<u64>> {
+        let query_sig = query.signature(&self.cfg);
+        let total = self.oid_file.len();
+        let npages = self.sig_file.len()?;
+        if self.threads > 1 && npages > 1 {
+            return self.scan_parallel(query, &query_sig, total, npages);
+        }
+        let mut positions = Vec::new();
+        for page_no in 0..npages {
+            self.scan_page(query, &query_sig, total, page_no, &mut positions)?;
+            self.scan.charge_both(1);
+        }
+        Ok(positions)
+    }
+
+    /// Matches one signature page's rows in place, appending hits to `out`.
+    fn scan_page(
+        &self,
+        query: &SetQuery,
+        query_sig: &Signature,
+        total: u64,
+        page_no: u32,
+        out: &mut Vec<u64>,
+    ) -> Result<()> {
+        let page = self.sig_file.read(page_no)?;
+        let base = page_no as u64 * self.per_page;
+        let slots = (total - base).min(self.per_page) as usize;
+        let q = query_sig.bitmap();
+        let m = self.cfg.m_weight();
+        for s in 0..slots {
+            let row = page.read_slice(s * self.sig_bytes, self.sig_bytes);
+            let hit = match query.predicate {
+                SetPredicate::HasSubset | SetPredicate::Contains => q.is_covered_by_bytes(row),
+                SetPredicate::InSubset => q.covers_bytes(row),
+                SetPredicate::Equals => q.eq_bytes(row),
+                SetPredicate::Overlaps => q.intersection_count_bytes(row) >= m,
+            };
+            if hit {
+                out.push(base + s as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// The parallel scan: workers claim pages from a shared counter,
+    /// producing `(page, hits)` lists that are merged in page order.
+    fn scan_parallel(
+        &self,
+        query: &SetQuery,
+        query_sig: &Signature,
+        total: u64,
+        npages: u32,
+    ) -> Result<Vec<u64>> {
+        /// A worker's `(page, hits)` lists plus its page count.
+        type WorkerScan = Result<(Vec<(u32, Vec<u64>)>, u64)>;
+        let threads = self.threads.min(npages as usize);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| -> Result<Vec<u64>> {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| -> WorkerScan {
+                        let mut local = Vec::new();
+                        let mut pages = 0u64;
+                        loop {
+                            let p = next.fetch_add(1, Ordering::Relaxed);
+                            if p >= npages as usize {
+                                break;
+                            }
+                            let mut hits = Vec::new();
+                            self.scan_page(query, query_sig, total, p as u32, &mut hits)?;
+                            pages += 1;
+                            local.push((p as u32, hits));
+                        }
+                        Ok((local, pages))
+                    })
+                })
+                .collect();
+            let mut per_page: Vec<(u32, Vec<u64>)> = Vec::with_capacity(npages as usize);
+            for h in handles {
+                let (local, pages) = h.join().expect("scan worker panicked")?;
+                self.scan.charge_both(pages);
+                per_page.extend(local);
+            }
+            per_page.sort_unstable_by_key(|&(p, _)| p);
+            Ok(per_page.into_iter().flat_map(|(_, hits)| hits).collect())
+        })
+    }
+
+    /// The pre-kernel reference scan: materializes a [`Signature`] per row
+    /// and matches through [`SetQuery::signature_matches`]. Kept as the
+    /// oracle the batched path is differentially tested against.
+    #[cfg(test)]
+    fn scan_matching_positions_reference(&self, query: &SetQuery) -> Result<Vec<u64>> {
         let query_sig = query.signature(&self.cfg);
         let total = self.oid_file.len();
         let npages = self.sig_file.len()?;
@@ -188,9 +348,16 @@ impl SetAccessFacility for Ssf {
     }
 
     fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        self.scan.reset();
         let positions = self.scan_matching_positions(query)?;
+        // The OID look-up is part of the filtering stage's protocol charge
+        // (the paper's LC_OID); it is never speculative or parallel.
+        self.scan.charge_both(OidFile::pages_touched(&positions));
         let resolved = self.oid_file.lookup_positions(&positions)?;
-        Ok(CandidateSet::new(resolved.into_iter().map(|(_, oid)| oid).collect(), false))
+        Ok(CandidateSet::new(
+            resolved.into_iter().map(|(_, oid)| oid).collect(),
+            false,
+        ))
     }
 
     fn indexed_count(&self) -> u64 {
@@ -199,6 +366,14 @@ impl SetAccessFacility for Ssf {
 
     fn storage_pages(&self) -> Result<u64> {
         Ok(self.sig_file.len()? as u64 + self.oid_file.storage_pages()? as u64)
+    }
+
+    fn cache_stats(&self) -> Option<setsig_pagestore::CacheStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
+    fn scan_stats(&self) -> Option<ScanStats> {
+        Some(self.last_scan_stats())
     }
 }
 
@@ -233,9 +408,12 @@ mod tests {
     #[test]
     fn insert_and_query_superset() {
         let (_d, mut ssf) = ssf(128, 3);
-        ssf.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
-        ssf.insert(Oid::new(2), &keys(&["Tennis", "Chess"])).unwrap();
-        ssf.insert(Oid::new(3), &keys(&["Baseball", "Golf", "Fishing"])).unwrap();
+        ssf.insert(Oid::new(1), &keys(&["Baseball", "Fishing"]))
+            .unwrap();
+        ssf.insert(Oid::new(2), &keys(&["Tennis", "Chess"]))
+            .unwrap();
+        ssf.insert(Oid::new(3), &keys(&["Baseball", "Golf", "Fishing"]))
+            .unwrap();
 
         let q = SetQuery::has_subset(keys(&["Baseball", "Fishing"]));
         let c = ssf.candidates(&q).unwrap();
@@ -248,7 +426,11 @@ mod tests {
     fn query_subset_finds_contained_sets() {
         let (_d, mut ssf) = ssf(128, 3);
         ssf.insert(Oid::new(1), &keys(&["Baseball"])).unwrap();
-        ssf.insert(Oid::new(2), &keys(&["Baseball", "Football", "Rugby", "Cricket"])).unwrap();
+        ssf.insert(
+            Oid::new(2),
+            &keys(&["Baseball", "Football", "Rugby", "Cricket"]),
+        )
+        .unwrap();
 
         let q = SetQuery::in_subset(keys(&["Baseball", "Football", "Tennis"]));
         let c = ssf.candidates(&q).unwrap();
@@ -319,8 +501,7 @@ mod tests {
         // Soundness under volume: every truly-matching object is a drop.
         let (_d, mut ssf) = ssf(64, 2);
         for i in 0..500u64 {
-            let set: Vec<ElementKey> =
-                (0..5).map(|j| ElementKey::from(i * 31 + j)).collect();
+            let set: Vec<ElementKey> = (0..5).map(|j| ElementKey::from(i * 31 + j)).collect();
             ssf.insert(Oid::new(i), &set).unwrap();
         }
         // Object 123's own first two elements as a ⊇ query.
@@ -361,7 +542,10 @@ mod tests {
         let sig = Signature::for_set(&other, &keys(&["a"]));
         assert!(matches!(
             ssf.insert_signature(Oid::new(1), &sig),
-            Err(Error::WidthMismatch { expected: 128, got: 64 })
+            Err(Error::WidthMismatch {
+                expected: 128,
+                got: 64
+            })
         ));
     }
 
@@ -371,6 +555,117 @@ mod tests {
         let io: Arc<dyn PageIo> = disk as Arc<dyn PageIo>;
         let cfg = SignatureConfig::new((PAGE_SIZE as u32 + 8) * 8, 2).unwrap();
         assert!(Ssf::create(io, "big", cfg).is_err());
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use setsig_pagestore::Disk;
+
+    fn populated(f_bits: u32, m: u32, n: u64) -> (Arc<Disk>, Ssf) {
+        let disk = Arc::new(Disk::new());
+        let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let cfg = SignatureConfig::new(f_bits, m).unwrap();
+        let mut s = Ssf::create(io, "e", cfg).unwrap();
+        for i in 0..n {
+            let set: Vec<ElementKey> = (0..4).map(|j| ElementKey::from(i * 13 + j)).collect();
+            s.insert(Oid::new(i), &set).unwrap();
+        }
+        (disk, s)
+    }
+
+    fn probes() -> Vec<SetQuery> {
+        let mut qs = Vec::new();
+        for i in [0u64, 5, 29, 64] {
+            qs.push(SetQuery::has_subset(vec![
+                ElementKey::from(i * 13),
+                ElementKey::from(i * 13 + 1),
+            ]));
+            qs.push(SetQuery::in_subset(
+                (0..6).map(|j| ElementKey::from(i * 13 + j)).collect(),
+            ));
+            qs.push(SetQuery::equals(
+                (0..4).map(|j| ElementKey::from(i * 13 + j)).collect(),
+            ));
+            qs.push(SetQuery::overlaps(vec![ElementKey::from(i * 13 + 3)]));
+        }
+        qs.push(SetQuery::has_subset(vec![ElementKey::from(444_444u64)]));
+        qs
+    }
+
+    #[test]
+    fn batched_scan_agrees_with_reference_scan() {
+        // F=500 → 63-byte rows, several pages; exercises the tail-byte
+        // masking of the word kernels on every predicate.
+        let (_d, s) = populated(500, 4, 300);
+        for q in probes() {
+            assert_eq!(
+                s.scan_matching_positions(&q).unwrap(),
+                s.scan_matching_positions_reference(&q).unwrap(),
+                "batched scan diverged ({:?})",
+                q.predicate
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_byte_identical_to_serial() {
+        let (_d1, serial) = populated(256, 3, 400);
+        let (_d2, mut par) = populated(256, 3, 400);
+        par.set_parallelism(8);
+        assert_eq!(par.parallelism(), 8);
+        for q in probes() {
+            let cs = serial.candidates(&q).unwrap();
+            let ss = serial.last_scan_stats();
+            let cp = par.candidates(&q).unwrap();
+            let sp = par.last_scan_stats();
+            assert_eq!(cs, cp, "candidates diverged ({:?})", q.predicate);
+            assert_eq!(ss, sp, "page accounting diverged ({:?})", q.predicate);
+            assert_eq!(sp.logical_pages, sp.physical_pages, "SSF never speculates");
+        }
+    }
+
+    #[test]
+    fn scan_stats_count_signature_pages() {
+        let (disk, s) = populated(500, 4, 300);
+        let q = SetQuery::has_subset(vec![ElementKey::from(999_999u64)]);
+        disk.reset_stats();
+        let _ = s.candidates(&q).unwrap();
+        let stats = s.last_scan_stats();
+        let sig = s.signature_pages().unwrap();
+        // Scan pages plus at most one OID page of (unlikely) false drops.
+        assert!(stats.logical_pages >= sig && stats.logical_pages <= sig + 1);
+        // The filtering stage's charge is exactly its disk traffic.
+        assert_eq!(disk.snapshot().reads, stats.physical_pages);
+    }
+
+    #[test]
+    fn cached_ssf_serves_repeat_scans_from_pool() {
+        let disk = Arc::new(Disk::new());
+        let cfg = SignatureConfig::new(128, 2).unwrap();
+        let mut s = Ssf::create_cached(Arc::clone(&disk), "c", cfg, 64).unwrap();
+        for i in 0..200u64 {
+            s.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        let q = SetQuery::has_subset(vec![ElementKey::from(7u64)]);
+        let first = s.candidates(&q).unwrap();
+        disk.reset_stats();
+        let second = s.candidates(&q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            disk.snapshot().reads,
+            0,
+            "repeat scan must be pool-resident"
+        );
+        assert!(s.cache_stats().unwrap().hits > 0);
+        assert!(s.buffer_pool().is_some());
+    }
+
+    #[test]
+    fn uncached_ssf_reports_no_cache_stats() {
+        let (_d, s) = populated(64, 2, 5);
+        assert!(s.cache_stats().is_none());
     }
 }
 
@@ -416,6 +711,9 @@ impl Ssf {
             sig_bytes,
             per_page,
             meta_file: Some(meta_file),
+            threads: 1,
+            pool: None,
+            scan: ScanCounters::default(),
         })
     }
 }
@@ -438,7 +736,8 @@ mod meta_tests {
         let disk = Arc::new(Disk::new());
         let io: Arc<dyn PageIo> = Arc::clone(&disk) as Arc<dyn PageIo>;
         let mut ssf = Ssf::create(io, "h", SignatureConfig::new(128, 2).unwrap()).unwrap();
-        ssf.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
+        ssf.insert(Oid::new(1), &keys(&["Baseball", "Fishing"]))
+            .unwrap();
         ssf.insert(Oid::new(2), &keys(&["Tennis"])).unwrap();
         let meta = ssf.sync_meta().unwrap();
         disk.save_to(&path).unwrap();

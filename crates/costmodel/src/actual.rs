@@ -25,8 +25,7 @@ pub fn objects_sharing_all_of(params: &Params, d_t: u32, j: u32) -> f64 {
     if j > d_t {
         return 0.0;
     }
-    let ln = ln_binomial(params.v - j as u64, (d_t - j) as u64)
-        - ln_binomial(params.v, d_t as u64);
+    let ln = ln_binomial(params.v - j as u64, (d_t - j) as u64) - ln_binomial(params.v, d_t as u64);
     params.n as f64 * ln.exp()
 }
 
@@ -120,12 +119,15 @@ mod tests {
         let d_t = 10;
         let d_q = 500;
         let partial = expected_subset_union_accesses(&p, d_t, d_q);
-        let full = p.n as f64
-            * (ln_binomial(d_q as u64, d_t as u64) - ln_binomial(p.v, d_t as u64)).exp();
+        let full =
+            p.n as f64 * (ln_binomial(d_q as u64, d_t as u64) - ln_binomial(p.v, d_t as u64)).exp();
         let none = p.n as f64
             * (ln_binomial(p.v - d_q as u64, d_t as u64) - ln_binomial(p.v, d_t as u64)).exp();
         let total = partial + full + none;
-        assert!((total - p.n as f64).abs() / (p.n as f64) < 1e-9, "total = {total}");
+        assert!(
+            (total - p.n as f64).abs() / (p.n as f64) < 1e-9,
+            "total = {total}"
+        );
     }
 
     #[test]

@@ -94,12 +94,7 @@ pub struct Recommendation {
     pub candidates: Vec<(Organization, f64, u64)>,
 }
 
-fn profile_cost(
-    profile: &WorkloadProfile,
-    rc_sup: f64,
-    rc_sub: f64,
-    uc_ins: f64,
-) -> f64 {
+fn profile_cost(profile: &WorkloadProfile, rc_sup: f64, rc_sub: f64, uc_ins: f64) -> f64 {
     profile.superset_fraction * rc_sup
         + profile.subset_fraction * rc_sub
         + profile.insert_fraction * uc_ins
@@ -109,8 +104,7 @@ fn profile_cost(
 /// configuration under `profile`.
 pub fn advise(params: Params, profile: &WorkloadProfile) -> Recommendation {
     assert!(
-        (profile.superset_fraction + profile.subset_fraction + profile.insert_fraction - 1.0)
-            .abs()
+        (profile.superset_fraction + profile.subset_fraction + profile.insert_fraction - 1.0).abs()
             < 1e-6,
         "operation fractions must sum to 1"
     );
@@ -181,7 +175,10 @@ pub fn advise(params: Params, profile: &WorkloadProfile) -> Recommendation {
 
     if let Some(budget) = profile.storage_budget_pages {
         candidates.retain(|(_, _, sc)| *sc <= budget);
-        assert!(!candidates.is_empty(), "no organization fits {budget} pages");
+        assert!(
+            !candidates.is_empty(),
+            "no organization fits {budget} pages"
+        );
     }
     candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
     let best = candidates[0];
@@ -206,7 +203,11 @@ mod tests {
             Organization::Bssf { f, m } => {
                 // Far below the text-retrieval optimum m_opt = F·ln2/D_t.
                 let m_opt = crate::m_opt(f, 10);
-                assert!((m as f64) < m_opt / 3.0, "{:?} vs m_opt {m_opt}", rec.organization);
+                assert!(
+                    (m as f64) < m_opt / 3.0,
+                    "{:?} vs m_opt {m_opt}",
+                    rec.organization
+                );
             }
             other => panic!("expected BSSF, got {other:?}"),
         }
@@ -225,7 +226,10 @@ mod tests {
         };
         let rec = advise(Params::paper(), &profile);
         assert!(
-            !matches!(rec.organization, Organization::Bssf { .. } | Organization::Nix),
+            !matches!(
+                rec.organization,
+                Organization::Bssf { .. } | Organization::Nix
+            ),
             "{:?}",
             rec.organization
         );
@@ -241,7 +245,11 @@ mod tests {
             ..WorkloadProfile::paper_default()
         };
         let rec = advise(Params::paper(), &profile);
-        assert!(matches!(rec.organization, Organization::Bssf { .. }), "{:?}", rec.organization);
+        assert!(
+            matches!(rec.organization, Organization::Bssf { .. }),
+            "{:?}",
+            rec.organization
+        );
         // And NIX should rank at or near the bottom among candidates.
         let nix_cost = rec
             .candidates

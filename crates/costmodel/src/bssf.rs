@@ -220,7 +220,10 @@ mod tests {
         let grid_min = (1..=40)
             .map(|i| m.rc_subset(i * 25))
             .fold(f64::INFINITY, f64::min);
-        assert!(rc_opt < grid_min * 1.1, "rc_opt = {rc_opt}, grid = {grid_min}");
+        assert!(
+            rc_opt < grid_min * 1.1,
+            "rc_opt = {rc_opt}, grid = {grid_min}"
+        );
     }
 
     #[test]
@@ -245,10 +248,7 @@ mod tests {
         let bssf = model(500, 2, 10);
         let ssf = crate::SsfModel::new(Params::paper(), 500, 2, 10);
         for d_q in [10u32, 30, 100, 300, 1000] {
-            assert!(
-                bssf.rc_subset(d_q) < ssf.rc_subset(d_q),
-                "d_q = {d_q}"
-            );
+            assert!(bssf.rc_subset(d_q) < ssf.rc_subset(d_q), "d_q = {d_q}");
         }
     }
 

@@ -82,8 +82,10 @@ mod tests {
         let fd = fd_superset(f, m, d_t, d_q);
         let expected = 0.5f64.powf((m * d_q) as f64);
         // m_opt makes the ones-fraction ≈ 1/2, so the two agree closely.
-        assert!((fd.ln() - expected.ln()).abs() / expected.ln().abs() < 0.05,
-            "fd = {fd:e}, expected ≈ {expected:e}");
+        assert!(
+            (fd.ln() - expected.ln()).abs() / expected.ln().abs() < 0.05,
+            "fd = {fd:e}, expected ≈ {expected:e}"
+        );
         assert!(fd < 1e-20, "negligible, as §5.1.1 observes");
     }
 

@@ -26,7 +26,13 @@ impl FssfModel {
     /// Creates the model. `k` must divide `F`.
     pub fn new(params: Params, f: u32, k: u32, m: u32, d_t: u32) -> Self {
         assert!(k > 0 && f.is_multiple_of(k), "k must divide F");
-        FssfModel { params, f, k, m, d_t }
+        FssfModel {
+            params,
+            f,
+            k,
+            m,
+            d_t,
+        }
     }
 
     /// Frame width `s = F/k`.

@@ -45,11 +45,11 @@ pub use actual::{
 };
 pub use advisor::{advise, Organization, Recommendation, WorkloadProfile};
 pub use bssf::BssfModel;
-pub use fssf::FssfModel;
 pub use falsedrop::{
-    expected_query_weight, expected_target_weight, fd_subset, fd_superset,
-    fd_superset_mixture, fd_superset_uniform_range, m_opt,
+    expected_query_weight, expected_target_weight, fd_subset, fd_superset, fd_superset_mixture,
+    fd_superset_uniform_range, m_opt,
 };
+pub use fssf::FssfModel;
 pub use math::{binomial_ratio, ln_binomial, ln_gamma};
 pub use nix::NixModel;
 pub use params::Params;

@@ -59,11 +59,20 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n+1) = n!
-        let facts: [(f64, f64); 6] =
-            [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (4.0, 6.0), (5.0, 24.0), (11.0, 3_628_800.0)];
+        let facts: [(f64, f64); 6] = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (4.0, 6.0),
+            (5.0, 24.0),
+            (11.0, 3_628_800.0),
+        ];
         for (x, expected) in facts {
             let got = ln_gamma(x).exp();
-            assert!((got - expected).abs() / expected < 1e-10, "Γ({x}) = {got}, want {expected}");
+            assert!(
+                (got - expected).abs() / expected < 1e-10,
+                "Γ({x}) = {got}, want {expected}"
+            );
         }
     }
 

@@ -29,7 +29,13 @@ pub struct NixModel {
 impl NixModel {
     /// Creates the model with the paper's Table 4 constants.
     pub fn new(params: Params, d_t: u32) -> Self {
-        NixModel { params, d_t, kl: 8, mid: 2, fanout: 218 }
+        NixModel {
+            params,
+            d_t,
+            kl: 8,
+            mid: 2,
+            fanout: 218,
+        }
     }
 
     /// Average objects per key `d = D_t·N/V`: how many objects' sets

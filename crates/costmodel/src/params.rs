@@ -22,14 +22,26 @@ pub struct Params {
 impl Params {
     /// The exact constants of Table 2.
     pub fn paper() -> Self {
-        Params { n: 32_000, p: 4096, oid: 8, v: 13_000, b: 8, p_p: 1.0, p_s: 1.0 }
+        Params {
+            n: 32_000,
+            p: 4096,
+            oid: 8,
+            v: 13_000,
+            b: 8,
+            p_p: 1.0,
+            p_s: 1.0,
+        }
     }
 
     /// A scaled-down instance with the same page geometry, for fast
     /// simulation cross-checks (`N` and `V` shrink together so the
     /// element-sharing degree `d = D_t·N/V` stays in the paper's regime).
     pub fn scaled(n: u64, v: u64) -> Self {
-        Params { n, v, ..Params::paper() }
+        Params {
+            n,
+            v,
+            ..Params::paper()
+        }
     }
 
     /// OIDs per page `O_p = ⌊P/oid⌋` (paper: 512).

@@ -79,7 +79,11 @@ fn main() {
             Some(exhibit) => {
                 exhibit.print();
                 if let Err(e) = exhibit.write_csv(&out_dir) {
-                    eprintln!("warning: failed to write {}/{}.csv: {e}", out_dir.display(), id);
+                    eprintln!(
+                        "warning: failed to write {}/{}.csv: {e}",
+                        out_dir.display(),
+                        id
+                    );
                 }
             }
             None => {

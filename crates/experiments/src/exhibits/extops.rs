@@ -16,7 +16,11 @@ use crate::sim::SimDb;
 /// facility. Always simulated; honors `--scale`.
 pub fn extops(opts: &Options) -> Exhibit {
     let scale = if opts.scale > 1 { opts.scale } else { 8 };
-    let run = Options { simulate: true, scale, trials: opts.trials.max(3) };
+    let run = Options {
+        simulate: true,
+        scale,
+        trials: opts.trials.max(3),
+    };
     let d_t = 10;
     let sim = SimDb::build(run.workload(d_t));
     let ssf = sim.build_ssf(500, 2);
@@ -75,7 +79,10 @@ pub fn extops(opts: &Options) -> Exhibit {
     ex.note("equality reads all F slices on BSSF (both bit polarities) — SSF's single scan is competitive there");
     ex.note("overlap and membership behave like small-⊇ queries: BSSF reads m_q slices, NIX unions/looks up posting lists exactly");
     let p = run.params();
-    ex.note(format!("measured on N = {}, V = {}, {} trials per point", p.n, p.v, run.trials));
+    ex.note(format!(
+        "measured on N = {}, V = {}, {} trials per point",
+        p.n, p.v, run.trials
+    ));
     ex
 }
 
@@ -85,7 +92,11 @@ mod tests {
 
     #[test]
     fn extops_runs_and_reports_all_predicates() {
-        let opts = Options { simulate: true, scale: 32, trials: 2 };
+        let opts = Options {
+            simulate: true,
+            scale: 32,
+            trials: 2,
+        };
         let ex = extops(&opts);
         assert_eq!(ex.rows.len(), 3);
         for row in &ex.rows {

@@ -8,7 +8,7 @@ use setsig_costmodel::{BssfModel, FssfModel, NixModel, SsfModel};
 
 use super::Options;
 use crate::report::Exhibit;
-use crate::sim::SimDb;
+use crate::sim::{EngineConfig, SimDb};
 
 /// `extorgs`: one row per cost axis, one column per organization
 /// (analytic; measured columns with `--simulate`).
@@ -30,14 +30,20 @@ pub fn extorgs(opts: &Options) -> Exhibit {
     }
     let mut ex = Exhibit::new(
         "extorgs",
-        &format!(
-            "Extension: four organizations at F = {f}, D_t = {d_t} (FSSF: k = {k}, m = 3)"
-        ),
+        &format!("Extension: four organizations at F = {f}, D_t = {d_t} (FSSF: k = {k}, m = 3)"),
         headers,
     );
 
     let analytic: Vec<(&str, [f64; 4])> = vec![
-        ("storage SC (pages)", [ssf.sc() as f64, bssf.sc() as f64, fssf.sc() as f64, nix.sc() as f64]),
+        (
+            "storage SC (pages)",
+            [
+                ssf.sc() as f64,
+                bssf.sc() as f64,
+                fssf.sc() as f64,
+                nix.sc() as f64,
+            ],
+        ),
         (
             &format!("RC ⊇ (D_q = {d_q_sup})"),
             [
@@ -56,8 +62,24 @@ pub fn extorgs(opts: &Options) -> Exhibit {
                 nix.rc_subset(d_q_sub),
             ],
         ),
-        ("UC insert", [ssf.uc_insert(), bssf.uc_insert(), fssf.uc_insert(), nix.uc_insert()]),
-        ("UC delete", [ssf.uc_delete(), bssf.uc_delete(), fssf.uc_delete(), nix.uc_delete()]),
+        (
+            "UC insert",
+            [
+                ssf.uc_insert(),
+                bssf.uc_insert(),
+                fssf.uc_insert(),
+                nix.uc_insert(),
+            ],
+        ),
+        (
+            "UC delete",
+            [
+                ssf.uc_delete(),
+                bssf.uc_delete(),
+                fssf.uc_delete(),
+                nix.uc_delete(),
+            ],
+        ),
     ]
     .into_iter()
     .map(|(label, vals)| (Box::leak(label.to_owned().into_boxed_str()) as &str, vals))
@@ -65,8 +87,10 @@ pub fn extorgs(opts: &Options) -> Exhibit {
 
     let measured: Option<Vec<[f64; 4]>> = opts.simulate.then(|| {
         let sim = SimDb::build(opts.workload(d_t));
-        let mut ssf_i = sim.build_ssf(f, m);
-        let mut bssf_i = sim.build_bssf(f, m);
+        // This exhibit also measures update costs, which are defined on
+        // the paper's serial, unbuffered protocol — pin that engine.
+        let mut ssf_i = sim.build_ssf_with(f, m, EngineConfig::serial());
+        let mut bssf_i = sim.build_bssf_with(f, m, EngineConfig::serial());
         let mut fssf_i = sim.build_fssf(f, k, 3);
         let mut nix_i = sim.build_nix();
         let disk = sim.db.disk();
@@ -85,13 +109,19 @@ pub fn extorgs(opts: &Options) -> Exhibit {
                 let mut qg = sim.query_gen(31);
                 rc_sup[i] = sim.measure_avg(*fac, opts.trials, |_| {
                     SetQuery::has_subset(
-                        qg.random(d_q_sup).into_iter().map(ElementKey::from).collect(),
+                        qg.random(d_q_sup)
+                            .into_iter()
+                            .map(ElementKey::from)
+                            .collect(),
                     )
                 });
                 let mut qg = sim.query_gen(37);
                 rc_sub[i] = sim.measure_avg(*fac, opts.trials, |_| {
                     SetQuery::in_subset(
-                        qg.random(d_q_sub).into_iter().map(ElementKey::from).collect(),
+                        qg.random(d_q_sub)
+                            .into_iter()
+                            .map(ElementKey::from)
+                            .collect(),
                     )
                 });
             }
@@ -152,7 +182,11 @@ mod tests {
 
     #[test]
     fn simulated_extorgs_runs_at_small_scale() {
-        let opts = Options { simulate: true, scale: 32, trials: 1 };
+        let opts = Options {
+            simulate: true,
+            scale: 32,
+            trials: 1,
+        };
         let ex = extorgs(&opts);
         assert_eq!(ex.headers.len(), 9);
         // Measured insert costs: FSSF ≤ D_t + 2, BSSF = F + 1.
@@ -171,10 +205,20 @@ pub fn advisor_exhibit(opts: &Options) -> Exhibit {
     let mut ex = Exhibit::new(
         "advisor",
         "Design advisor: best organization per workload profile (page accesses/op)",
-        vec!["profile", "recommended", "cost/op", "storage", "runner-up", "runner-up cost"],
+        vec![
+            "profile",
+            "recommended",
+            "cost/op",
+            "storage",
+            "runner-up",
+            "runner-up cost",
+        ],
     );
     let profiles: Vec<(&str, WorkloadProfile)> = vec![
-        ("paper mix (45% ⊇, 45% ⊆, 10% ins)", WorkloadProfile::paper_default()),
+        (
+            "paper mix (45% ⊇, 45% ⊆, 10% ins)",
+            WorkloadProfile::paper_default(),
+        ),
         (
             "superset-only",
             WorkloadProfile {
@@ -211,7 +255,11 @@ pub fn advisor_exhibit(opts: &Options) -> Exhibit {
         ),
         (
             "D_t = 100 mix",
-            WorkloadProfile { d_t: 100, d_q_subset: 500, ..WorkloadProfile::paper_default() },
+            WorkloadProfile {
+                d_t: 100,
+                d_q_subset: 500,
+                ..WorkloadProfile::paper_default()
+            },
         ),
     ];
     for (label, profile) in profiles {

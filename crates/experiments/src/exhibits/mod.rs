@@ -33,7 +33,11 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { simulate: false, scale: 1, trials: 3 }
+        Options {
+            simulate: false,
+            scale: 1,
+            trials: 3,
+        }
     }
 }
 

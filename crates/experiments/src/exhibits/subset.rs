@@ -16,10 +16,11 @@ pub fn fig8(opts: &Options) -> Exhibit {
     let m = 2;
     let d_q_points = [10u32, 20, 30, 50, 70, 100, 150, 200, 300, 500, 700, 1000];
 
-    let mut headers: Vec<String> =
-        vec!["D_q".into(), "SSF".into(), "BSSF".into(), "NIX".into()];
+    let mut headers: Vec<String> = vec!["D_q".into(), "SSF".into(), "BSSF".into(), "NIX".into()];
     let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
-    let meas = sim.as_ref().map(|s| (s.build_ssf(f, m), s.build_bssf(f, m), s.build_nix()));
+    let meas = sim
+        .as_ref()
+        .map(|s| (s.build_ssf(f, m), s.build_bssf(f, m), s.build_nix()));
     if opts.simulate {
         headers.push("meas SSF".into());
         headers.push("meas BSSF".into());
@@ -76,15 +77,19 @@ fn smart_subset_exhibit(
     headers.push("NIX".into());
 
     let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
-    let meas = sim.as_ref().map(|s| (s.build_bssf(f_values[1], m), s.build_nix()));
+    let meas = sim
+        .as_ref()
+        .map(|s| (s.build_bssf(f_values[1], m), s.build_nix()));
     if opts.simulate {
         headers.push(format!("meas BSSF F={}", f_values[1]));
         headers.push("meas NIX".into());
     }
 
     let mut ex = Exhibit::new(id, title, headers.iter().map(String::as_str).collect());
-    let bssf_models: Vec<BssfModel> =
-        f_values.iter().map(|&f| BssfModel::new(p, f, m, d_t)).collect();
+    let bssf_models: Vec<BssfModel> = f_values
+        .iter()
+        .map(|&f| BssfModel::new(p, f, m, d_t))
+        .collect();
     let nix = NixModel::new(p, d_t);
 
     // The measured smart strategy reads only the slice budget implied by
@@ -92,7 +97,9 @@ fn smart_subset_exhibit(
     let slice_cap = {
         let b = &bssf_models[1];
         let opt = b.d_q_opt();
-        (b.f as f64 - b.m_s(opt.round().max(1.0) as u32)).round().max(1.0) as usize
+        (b.f as f64 - b.m_s(opt.round().max(1.0) as u32))
+            .round()
+            .max(1.0) as usize
     };
 
     for &d_q in d_q_points {
@@ -106,10 +113,11 @@ fn smart_subset_exhibit(
             let mut qg = sim.query_gen(d_q as u64 * 13 + 3);
             let mut total = 0u64;
             for _ in 0..opts.trials {
-                let q = SetQuery::in_subset(
-                    qg.random(d_q).into_iter().map(ElementKey::from).collect(),
-                );
-                total += sim.measure(&q, || bssf.candidates_subset_smart(&q, slice_cap)).total_pages();
+                let q =
+                    SetQuery::in_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect());
+                total += sim
+                    .measure_smart(bssf, &q, || bssf.candidates_subset_smart(&q, slice_cap))
+                    .total_pages();
             }
             row.push(Exhibit::fmt(total as f64 / opts.trials as f64));
             let mut qg = sim.query_gen(d_q as u64 * 13 + 3);
@@ -162,7 +170,11 @@ mod tests {
     use super::*;
 
     fn fast() -> Options {
-        Options { simulate: false, scale: 1, trials: 1 }
+        Options {
+            simulate: false,
+            scale: 1,
+            trials: 1,
+        }
     }
 
     #[test]
@@ -189,10 +201,14 @@ mod tests {
     fn fig9_smart_cost_constant_below_opt() {
         let ex = fig9(&fast());
         let first: f64 = ex.rows[0][2].parse().unwrap();
-        let at100: f64 = ex.rows.iter().find(|r| r[0] == "100").unwrap()[2].parse().unwrap();
+        let at100: f64 = ex.rows.iter().find(|r| r[0] == "100").unwrap()[2]
+            .parse()
+            .unwrap();
         assert_eq!(first, at100, "flat below D_q^opt");
         // And far below NIX at the same D_q.
-        let nix: f64 = ex.rows.iter().find(|r| r[0] == "100").unwrap()[3].parse().unwrap();
+        let nix: f64 = ex.rows.iter().find(|r| r[0] == "100").unwrap()[3]
+            .parse()
+            .unwrap();
         assert!(at100 * 5.0 < nix);
     }
 
@@ -205,7 +221,11 @@ mod tests {
 
     #[test]
     fn simulated_fig8_runs_at_small_scale() {
-        let opts = Options { simulate: true, scale: 64, trials: 1 };
+        let opts = Options {
+            simulate: true,
+            scale: 64,
+            trials: 1,
+        };
         let ex = fig8(&opts);
         assert_eq!(ex.headers.len(), 7);
         for row in &ex.rows {

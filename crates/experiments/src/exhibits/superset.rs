@@ -107,7 +107,9 @@ pub fn fig5(opts: &Options) -> Exhibit {
         }
         ex.push_row(row);
     }
-    ex.note("paper finding: except at D_q = 1, BSSF with m = 2 is comparable to or cheaper than NIX");
+    ex.note(
+        "paper finding: except at D_q = 1, BSSF with m = 2 is comparable to or cheaper than NIX",
+    );
     opts.annotate_scale(&mut ex);
     ex
 }
@@ -129,7 +131,9 @@ fn smart_superset_exhibit(
     headers.push("NIX smart".into());
 
     let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
-    let meas = sim.as_ref().map(|s| (s.build_bssf(f_values[1], m), s.build_nix()));
+    let meas = sim
+        .as_ref()
+        .map(|s| (s.build_bssf(f_values[1], m), s.build_nix()));
     if opts.simulate {
         headers.push(format!("meas BSSF F={}", f_values[1]));
         headers.push("meas NIX".into());
@@ -139,9 +143,14 @@ fn smart_superset_exhibit(
 
     // The smart caps: the j minimizing the model cost (the paper fixes
     // j = 2 for m = 2, which best_superset_cap reproduces).
-    let bssf_models: Vec<BssfModel> =
-        f_values.iter().map(|&f| BssfModel::new(p, f, m, d_t)).collect();
-    let caps: Vec<u32> = bssf_models.iter().map(|b| b.best_superset_cap(10)).collect();
+    let bssf_models: Vec<BssfModel> = f_values
+        .iter()
+        .map(|&f| BssfModel::new(p, f, m, d_t))
+        .collect();
+    let caps: Vec<u32> = bssf_models
+        .iter()
+        .map(|b| b.best_superset_cap(10))
+        .collect();
     let nix = NixModel::new(p, d_t);
     let nix_cap = 2; // §5.1.3's rule for NIX
 
@@ -159,7 +168,9 @@ fn smart_superset_exhibit(
                 let q = SetQuery::has_subset(
                     qg.random(d_q).into_iter().map(ElementKey::from).collect(),
                 );
-                total += sim.measure(&q, || bssf.candidates_superset_smart(&q, cap)).total_pages();
+                total += sim
+                    .measure_smart(bssf, &q, || bssf.candidates_superset_smart(&q, cap))
+                    .total_pages();
             }
             row.push(Exhibit::fmt(total as f64 / opts.trials as f64));
 
@@ -170,7 +181,9 @@ fn smart_superset_exhibit(
                     qg.random(d_q).into_iter().map(ElementKey::from).collect(),
                 );
                 total += sim
-                    .measure(&q, || nixi.candidates_superset_smart(&q, nix_cap as usize))
+                    .measure_smart(nixi, &q, || {
+                        nixi.candidates_superset_smart(&q, nix_cap as usize)
+                    })
                     .total_pages();
             }
             row.push(Exhibit::fmt(total as f64 / opts.trials as f64));
@@ -219,7 +232,11 @@ mod tests {
     use super::*;
 
     fn fast() -> Options {
-        Options { simulate: false, scale: 1, trials: 1 }
+        Options {
+            simulate: false,
+            scale: 1,
+            trials: 1,
+        }
     }
 
     #[test]
@@ -271,7 +288,11 @@ mod tests {
 
     #[test]
     fn simulated_fig5_runs_at_small_scale() {
-        let opts = Options { simulate: true, scale: 64, trials: 1 };
+        let opts = Options {
+            simulate: true,
+            scale: 64,
+            trials: 1,
+        };
         let ex = fig5(&opts);
         // Measured columns exist and are positive.
         assert_eq!(ex.headers.len(), 8);

@@ -5,7 +5,7 @@ use setsig_costmodel::{BssfModel, NixModel, Params, SsfModel};
 
 use super::Options;
 use crate::report::Exhibit;
-use crate::sim::SimDb;
+use crate::sim::{EngineConfig, SimDb};
 
 /// Table 2: the constant parameters, with the derived values the paper
 /// lists.
@@ -68,11 +68,7 @@ pub fn table6(opts: &Options) -> Exhibit {
     if opts.simulate {
         headers.extend(["meas SSF", "meas BSSF", "meas NIX"]);
     }
-    let mut ex = Exhibit::new(
-        "table6",
-        "Storage cost in pages (paper Table 6)",
-        headers,
-    );
+    let mut ex = Exhibit::new("table6", "Storage cost in pages (paper Table 6)", headers);
     let mut sims: std::collections::BTreeMap<u32, SimDb> = Default::default();
     for (d_t, f, m) in facility_configs() {
         let ssf = SsfModel::new(p, f, m, d_t);
@@ -121,9 +117,21 @@ pub fn table7(opts: &Options) -> Exhibit {
     let mut sims: std::collections::BTreeMap<u32, SimDb> = Default::default();
     for (d_t, f, m) in facility_configs() {
         let models: Vec<(&str, f64, f64)> = vec![
-            ("SSF", SsfModel::new(p, f, m, d_t).uc_insert(), SsfModel::new(p, f, m, d_t).uc_delete()),
-            ("BSSF", BssfModel::new(p, f, m, d_t).uc_insert(), BssfModel::new(p, f, m, d_t).uc_delete()),
-            ("NIX", NixModel::new(p, d_t).uc_insert(), NixModel::new(p, d_t).uc_delete()),
+            (
+                "SSF",
+                SsfModel::new(p, f, m, d_t).uc_insert(),
+                SsfModel::new(p, f, m, d_t).uc_delete(),
+            ),
+            (
+                "BSSF",
+                BssfModel::new(p, f, m, d_t).uc_insert(),
+                BssfModel::new(p, f, m, d_t).uc_delete(),
+            ),
+            (
+                "NIX",
+                NixModel::new(p, d_t).uc_insert(),
+                NixModel::new(p, d_t).uc_delete(),
+            ),
         ];
         let measured: Option<Vec<(f64, f64)>> = opts.simulate.then(|| {
             let sim = sims
@@ -135,21 +143,29 @@ pub fn table7(opts: &Options) -> Exhibit {
             let probe_set: Vec<ElementKey> =
                 sim.sets[0].iter().map(|&e| ElementKey::from(e)).collect();
 
-            let mut ssf_i = sim.build_ssf(f, m);
+            // Updates measure the paper's serial, unbuffered protocol;
+            // the engine knobs only select how *queries* run.
+            let mut ssf_i = sim.build_ssf_with(f, m, EngineConfig::serial());
             let s0 = disk.snapshot();
             ssf_i.insert(probe_oid, &probe_set).unwrap();
             let s1 = disk.snapshot();
             ssf_i.delete(probe_oid, &probe_set).unwrap();
             let s2 = disk.snapshot();
-            out.push((s1.since(s0).accesses() as f64, s2.since(s1).accesses() as f64));
+            out.push((
+                s1.since(s0).accesses() as f64,
+                s2.since(s1).accesses() as f64,
+            ));
 
-            let mut bssf_i = sim.build_bssf(f, m);
+            let mut bssf_i = sim.build_bssf_with(f, m, EngineConfig::serial());
             let s0 = disk.snapshot();
             bssf_i.insert(probe_oid, &probe_set).unwrap();
             let s1 = disk.snapshot();
             bssf_i.delete(probe_oid, &probe_set).unwrap();
             let s2 = disk.snapshot();
-            out.push((s1.since(s0).accesses() as f64, s2.since(s1).accesses() as f64));
+            out.push((
+                s1.since(s0).accesses() as f64,
+                s2.since(s1).accesses() as f64,
+            ));
 
             let mut nix_i = sim.build_nix();
             let s0 = disk.snapshot();
@@ -157,7 +173,10 @@ pub fn table7(opts: &Options) -> Exhibit {
             let s1 = disk.snapshot();
             nix_i.delete(probe_oid, &probe_set).unwrap();
             let s2 = disk.snapshot();
-            out.push((s1.since(s0).accesses() as f64, s2.since(s1).accesses() as f64));
+            out.push((
+                s1.since(s0).accesses() as f64,
+                s2.since(s1).accesses() as f64,
+            ));
             out
         });
         for (i, (name, uci, ucd)) in models.into_iter().enumerate() {
@@ -227,7 +246,11 @@ mod tests {
 
     #[test]
     fn simulated_tables_run_at_small_scale() {
-        let opts = Options { simulate: true, scale: 64, trials: 1 };
+        let opts = Options {
+            simulate: true,
+            scale: 64,
+            trials: 1,
+        };
         let t6 = table6(&opts);
         assert_eq!(t6.headers.len(), 8);
         let t7 = table7(&opts);

@@ -25,7 +25,11 @@ fn measured_fd(
     let mut total = 0.0;
     for _ in 0..trials {
         let elems: Vec<ElementKey> = qg.random(d_q).into_iter().map(ElementKey::from).collect();
-        let q = if superset { SetQuery::has_subset(elems) } else { SetQuery::in_subset(elems) };
+        let q = if superset {
+            SetQuery::has_subset(elems)
+        } else {
+            SetQuery::in_subset(elems)
+        };
         let m = sim.measure_facility(facility, &q);
         total += m.false_drops as f64 / (n - m.actual as f64);
     }
@@ -38,11 +42,23 @@ pub fn validate_fd(opts: &Options) -> Exhibit {
     // Validation needs real runs even without --simulate; scale down by
     // default so `repro validate` is quick in any build.
     let scale = if opts.scale > 1 { opts.scale } else { 8 };
-    let run_opts = Options { simulate: true, scale, trials: opts.trials.max(3) };
+    let run_opts = Options {
+        simulate: true,
+        scale,
+        trials: opts.trials.max(3),
+    };
     let mut ex = Exhibit::new(
         "validate",
         "False drop probability: Eq. (2)/(6) vs measured (random queries on the real BSSF)",
-        vec!["predicate", "F", "m", "D_t", "D_q", "F_d model", "F_d measured"],
+        vec![
+            "predicate",
+            "F",
+            "m",
+            "D_t",
+            "D_q",
+            "F_d model",
+            "F_d measured",
+        ],
     );
     let d_t = 10;
     let sim = SimDb::build(run_opts.workload(d_t));
@@ -53,7 +69,8 @@ pub fn validate_fd(opts: &Options) -> Exhibit {
         let bssf = sim.build_bssf(f, m);
         for d_q in [1u32, 2, 3] {
             let model = fd_superset(f, m, d_t, d_q);
-            let measured = measured_fd(&sim, &bssf, true, d_q, run_opts.trials * 4, 71 + d_q as u64);
+            let measured =
+                measured_fd(&sim, &bssf, true, d_q, run_opts.trials * 4, 71 + d_q as u64);
             ex.push_row(vec![
                 "T ⊇ Q".into(),
                 f.to_string(),
@@ -98,9 +115,22 @@ pub fn appendix_c() -> Exhibit {
     let mut ex = Exhibit::new(
         "appc",
         "Appendix C: closed-form D_q^opt vs grid minimum of RC_⊆(D_q)",
-        vec!["F", "m", "D_t", "D_q^opt (formula)", "D_q* (grid)", "RC at formula", "RC at grid"],
+        vec![
+            "F",
+            "m",
+            "D_t",
+            "D_q^opt (formula)",
+            "D_q* (grid)",
+            "RC at formula",
+            "RC at grid",
+        ],
     );
-    for (f, m, d_t) in [(500u32, 2u32, 10u32), (250, 2, 10), (1000, 3, 100), (2500, 3, 100)] {
+    for (f, m, d_t) in [
+        (500u32, 2u32, 10u32),
+        (250, 2, 10),
+        (1000, 3, 100),
+        (2500, 3, 100),
+    ] {
         let model = BssfModel::new(p, f, m, d_t);
         let formula = model.d_q_opt();
         let grid = (1..=600)
@@ -126,13 +156,23 @@ pub fn appendix_c() -> Exhibit {
 /// fixed.
 pub fn varcard(opts: &Options) -> Exhibit {
     let scale = if opts.scale > 1 { opts.scale } else { 8 };
-    let run_opts = Options { simulate: true, scale, trials: opts.trials.max(3) };
+    let run_opts = Options {
+        simulate: true,
+        scale,
+        trials: opts.trials.max(3),
+    };
     let p = run_opts.params();
     let (f, m, d_t) = (250u32, 2u32, 10u32);
     let mut ex = Exhibit::new(
         "varcard",
         "Extension (§6): variable target cardinality vs the fixed-D_t model, BSSF F=250 m=2, T ⊇ Q",
-        vec!["cardinality", "D_q", "F_d model (mean D_t)", "F_d model (mixture)", "F_d measured"],
+        vec![
+            "cardinality",
+            "D_q",
+            "F_d model (mean D_t)",
+            "F_d model (mixture)",
+            "F_d measured",
+        ],
     );
     for cardinality in [
         Cardinality::Fixed(10),
@@ -152,12 +192,9 @@ pub fn varcard(opts: &Options) -> Exhibit {
             let model = fd_superset(f, m, d_t, d_q);
             let mixture = match cardinality {
                 Cardinality::Fixed(d) => fd_superset(f, m, d, d_q),
-                Cardinality::UniformRange(lo, hi) => {
-                    fd_superset_uniform_range(f, m, lo, hi, d_q)
-                }
+                Cardinality::UniformRange(lo, hi) => fd_superset_uniform_range(f, m, lo, hi, d_q),
             };
-            let measured =
-                measured_fd(&sim, &bssf, true, d_q, run_opts.trials * 4, 7 + d_q as u64);
+            let measured = measured_fd(&sim, &bssf, true, d_q, run_opts.trials * 4, 7 + d_q as u64);
             ex.push_row(vec![
                 format!("{cardinality:?}"),
                 d_q.to_string(),
@@ -177,7 +214,11 @@ mod tests {
 
     #[test]
     fn validate_model_and_measured_agree_in_order_of_magnitude() {
-        let opts = Options { simulate: true, scale: 16, trials: 3 };
+        let opts = Options {
+            simulate: true,
+            scale: 16,
+            trials: 3,
+        };
         let ex = validate_fd(&opts);
         // For the (250, 1) rows the probability is large enough for a
         // stable comparison: within ~3x.
@@ -203,7 +244,11 @@ mod tests {
 
     #[test]
     fn varcard_spread_increases_false_drops() {
-        let opts = Options { simulate: true, scale: 16, trials: 3 };
+        let opts = Options {
+            simulate: true,
+            scale: 16,
+            trials: 3,
+        };
         let ex = varcard(&opts);
         // Compare Fixed(10) vs UniformRange(1,19) at D_q = 1.
         let fixed: f64 = ex.rows[0][3].parse().unwrap();

@@ -25,4 +25,4 @@ mod report;
 mod sim;
 
 pub use report::Exhibit;
-pub use sim::{MeasuredQuery, SimDb};
+pub use sim::{EngineConfig, MeasuredQuery, SimDb};

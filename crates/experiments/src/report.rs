@@ -36,7 +36,12 @@ impl Exhibit {
 
     /// Appends a data row; must match the header arity.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -103,7 +108,8 @@ impl Exhibit {
     /// Writes `<dir>/<id>.csv`.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(format!("{}.csv", self.id)))?);
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(dir.join(format!("{}.csv", self.id)))?);
         writeln!(f, "{}", self.headers.join(","))?;
         for row in &self.rows {
             writeln!(f, "{}", row.join(","))?;

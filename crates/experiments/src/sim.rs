@@ -6,8 +6,8 @@
 //! actual page accesses.
 
 use setsig_core::{
-    resolve_drops, Bssf, CandidateSet, ElementKey, Fssf, FssfConfig, Oid,
-    Result as CoreResult, SetAccessFacility, SetQuery, SignatureConfig, Ssf,
+    resolve_drops, Bssf, CandidateSet, ElementKey, Fssf, FssfConfig, Oid, Result as CoreResult,
+    SetAccessFacility, SetQuery, SignatureConfig, Ssf,
 };
 use setsig_nix::Nix;
 use setsig_oodb::{AttrType, ClassDef, ClassId, Database, Value};
@@ -38,6 +38,56 @@ impl MeasuredQuery {
     }
 }
 
+/// Query-engine knobs for the measured facilities: how many scan threads
+/// and whether reads are routed through a buffer pool.
+///
+/// The default — one thread, no pool — is the paper's protocol, and every
+/// published number is measured that way. The knobs exist so each exhibit
+/// can be re-run serial vs. parallel (the candidate sets and logical page
+/// counts are identical by construction) or with a hot cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for slice/signature scans (`1` = serial).
+    pub threads: usize,
+    /// Buffer-pool capacity in frames; `None` leaves reads uncached.
+    pub pool_pages: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            pool_pages: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's serial, uncached protocol.
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Reads `SETSIG_THREADS` (scan worker count, default 1) and
+    /// `SETSIG_POOL_PAGES` (buffer-pool frames, default none) so any
+    /// exhibit binary can flip engines without a rebuild.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("SETSIG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        let pool_pages = std::env::var("SETSIG_POOL_PAGES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&p| p > 0);
+        EngineConfig {
+            threads,
+            pool_pages,
+        }
+    }
+}
+
 /// A synthetic database instance: `N` objects, each with one indexed set
 /// attribute drawn per the workload config.
 pub struct SimDb {
@@ -65,15 +115,24 @@ impl SimDb {
             .expect("fresh database");
         for set in &sets {
             let value = Value::Set(set.iter().map(|&e| Value::Int(e as i64)).collect());
-            db.insert_object(class, vec![value]).expect("schema-valid insert");
+            db.insert_object(class, vec![value])
+                .expect("schema-valid insert");
         }
         db.disk().reset_stats();
-        SimDb { db, class, sets, cfg }
+        SimDb {
+            db,
+            class,
+            sets,
+            cfg,
+        }
     }
 
     /// Elements of target `oid` as query keys.
     pub fn target_keys(&self, oid: u64) -> Vec<ElementKey> {
-        self.sets[oid as usize].iter().map(|&e| ElementKey::from(e)).collect()
+        self.sets[oid as usize]
+            .iter()
+            .map(|&e| ElementKey::from(e))
+            .collect()
     }
 
     /// A deterministic query generator over this instance's domain.
@@ -85,10 +144,22 @@ impl SimDb {
         Arc::clone(self.db.disk()) as Arc<dyn PageIo>
     }
 
-    /// Builds an SSF over the instance (inserting every target signature).
+    /// Builds an SSF over the instance (inserting every target signature),
+    /// with engine knobs from the environment (see [`EngineConfig::from_env`]).
     pub fn build_ssf(&self, f: u32, m: u32) -> Ssf {
+        self.build_ssf_with(f, m, EngineConfig::from_env())
+    }
+
+    /// Builds an SSF with explicit engine knobs.
+    pub fn build_ssf_with(&self, f: u32, m: u32, engine: EngineConfig) -> Ssf {
         let cfg = SignatureConfig::new(f, m).expect("valid signature config");
-        let mut ssf = Ssf::create(self.io(), &format!("ssf-f{f}-m{m}"), cfg).expect("fits page");
+        let name = format!("ssf-f{f}-m{m}");
+        let mut ssf = match engine.pool_pages {
+            Some(pages) => Ssf::create_cached(Arc::clone(self.db.disk()), &name, cfg, pages)
+                .expect("fits page"),
+            None => Ssf::create(self.io(), &name, cfg).expect("fits page"),
+        };
+        ssf.set_parallelism(engine.threads);
         for (i, set) in self.sets.iter().enumerate() {
             let keys: Vec<ElementKey> = set.iter().map(|&e| ElementKey::from(e)).collect();
             ssf.insert(Oid::new(i as u64), &keys).expect("insert");
@@ -97,16 +168,32 @@ impl SimDb {
         ssf
     }
 
-    /// Builds a BSSF over the instance via the bulk loader.
+    /// Builds a BSSF over the instance via the bulk loader, with engine
+    /// knobs from the environment (see [`EngineConfig::from_env`]).
     pub fn build_bssf(&self, f: u32, m: u32) -> Bssf {
+        self.build_bssf_with(f, m, EngineConfig::from_env())
+    }
+
+    /// Builds a BSSF with explicit engine knobs.
+    pub fn build_bssf_with(&self, f: u32, m: u32, engine: EngineConfig) -> Bssf {
         let cfg = SignatureConfig::new(f, m).expect("valid signature config");
-        let mut bssf = Bssf::create(self.io(), &format!("bssf-f{f}-m{m}"), cfg).expect("create");
+        let name = format!("bssf-f{f}-m{m}");
+        let mut bssf = match engine.pool_pages {
+            Some(pages) => {
+                Bssf::create_cached(Arc::clone(self.db.disk()), &name, cfg, pages).expect("create")
+            }
+            None => Bssf::create(self.io(), &name, cfg).expect("create"),
+        };
+        bssf.set_parallelism(engine.threads);
         let items: Vec<(Oid, Vec<ElementKey>)> = self
             .sets
             .iter()
             .enumerate()
             .map(|(i, set)| {
-                (Oid::new(i as u64), set.iter().map(|&e| ElementKey::from(e)).collect())
+                (
+                    Oid::new(i as u64),
+                    set.iter().map(|&e| ElementKey::from(e)).collect(),
+                )
             })
             .collect();
         bssf.bulk_load(&items).expect("bulk load");
@@ -141,15 +228,59 @@ impl SimDb {
     /// Measures one query: `filter` produces the candidates (so smart
     /// strategies plug in), then drop resolution fetches and verifies each
     /// candidate against the object store.
+    ///
+    /// The filter-stage cost is the raw disk delta, so this variant is only
+    /// engine-independent for serial, unbuffered facilities; prefer
+    /// [`SimDb::measure_facility`] / [`SimDb::measure_smart`], which charge
+    /// the facility's *logical* scan pages whenever it reports them.
     pub fn measure(
         &self,
         query: &SetQuery,
+        filter: impl FnOnce() -> CoreResult<CandidateSet>,
+    ) -> MeasuredQuery {
+        self.measure_inner(query, None, filter)
+    }
+
+    /// Measures a plain facility query.
+    pub fn measure_facility(
+        &self,
+        facility: &dyn SetAccessFacility,
+        query: &SetQuery,
+    ) -> MeasuredQuery {
+        self.measure_inner(query, Some(facility), || facility.candidates(query))
+    }
+
+    /// Measures a smart-strategy query (`filter` calls one of `facility`'s
+    /// `candidates_*_smart` methods): like [`SimDb::measure_facility`], the
+    /// filter stage is charged `facility`'s logical scan pages.
+    pub fn measure_smart(
+        &self,
+        facility: &dyn SetAccessFacility,
+        query: &SetQuery,
+        filter: impl FnOnce() -> CoreResult<CandidateSet>,
+    ) -> MeasuredQuery {
+        self.measure_inner(query, Some(facility), filter)
+    }
+
+    fn measure_inner(
+        &self,
+        query: &SetQuery,
+        stats_from: Option<&dyn SetAccessFacility>,
         filter: impl FnOnce() -> CoreResult<CandidateSet>,
     ) -> MeasuredQuery {
         let disk = self.db.disk();
         let start = disk.snapshot();
         let candidates = filter().expect("filter stage");
         let after_filter = disk.snapshot();
+        // The paper's RC charges the serial protocol's page accesses. A
+        // facility that tracks scan stats reports exactly that logical
+        // count whatever its engine does physically (thread speculation,
+        // pool hits); facilities without stats (NIX, FSSF) run serial and
+        // unbuffered, where the disk delta is the same number.
+        let filter_pages = stats_from
+            .and_then(|f| f.scan_stats())
+            .map(|s| s.logical_pages)
+            .unwrap_or_else(|| after_filter.since(start).accesses());
         let source = self
             .db
             .target_source(self.class, "elems")
@@ -157,17 +288,12 @@ impl SimDb {
         let report = resolve_drops(query, &candidates, &source).expect("resolution");
         let end = disk.snapshot();
         MeasuredQuery {
-            filter_pages: after_filter.since(start).accesses(),
+            filter_pages,
             object_pages: end.since(after_filter).accesses(),
             candidates: report.candidates,
             false_drops: report.false_drops,
             actual: report.actual.len() as u64,
         }
-    }
-
-    /// Measures a plain facility query.
-    pub fn measure_facility(&self, facility: &dyn SetAccessFacility, query: &SetQuery) -> MeasuredQuery {
-        self.measure(query, || facility.candidates(query))
     }
 
     /// Averages `trials` measured queries produced by `make_query`.
@@ -208,8 +334,7 @@ mod tests {
         // Object i's stored set matches the ground truth.
         let obj = sim.db.get_object(Oid::new(42)).unwrap();
         let stored = obj.values[0].as_element_set().unwrap();
-        let expected: Vec<ElementKey> =
-            sim.sets[42].iter().map(|&e| ElementKey::from(e)).collect();
+        let expected: Vec<ElementKey> = sim.sets[42].iter().map(|&e| ElementKey::from(e)).collect();
         let mut sorted = expected.clone();
         sorted.sort_unstable();
         let mut stored_sorted = stored.clone();
@@ -229,7 +354,10 @@ mod tests {
             // Force hits by querying subsets of real targets.
             let target = &sim.sets[(trial * 97 % 500) as usize];
             let q = SetQuery::has_subset(
-                qg.subset_of_target(target, 3).into_iter().map(ElementKey::from).collect(),
+                qg.subset_of_target(target, 3)
+                    .into_iter()
+                    .map(ElementKey::from)
+                    .collect(),
             );
             let a = sim.measure_facility(&ssf, &q);
             let b = sim.measure_facility(&bssf, &q);
@@ -250,6 +378,61 @@ mod tests {
         assert!(m.filter_pages > 0);
         assert!(m.actual + m.false_drops == m.candidates);
         assert_eq!(m.total_pages(), m.filter_pages + m.object_pages);
+    }
+
+    #[test]
+    fn engine_config_variants_measure_identically() {
+        let sim = SimDb::build(small_cfg());
+        let serial = sim.build_bssf_with(128, 2, EngineConfig::serial());
+        let parallel = sim.build_bssf_with(
+            128,
+            2,
+            EngineConfig {
+                threads: 4,
+                pool_pages: None,
+            },
+        );
+        let mut qg = sim.query_gen(9);
+        for trial in 0..4u64 {
+            let target = &sim.sets[(trial * 131 % 500) as usize];
+            let q = SetQuery::has_subset(
+                qg.subset_of_target(target, 3)
+                    .into_iter()
+                    .map(ElementKey::from)
+                    .collect(),
+            );
+            let a = serial.candidates(&q).unwrap();
+            let b = parallel.candidates(&q).unwrap();
+            assert_eq!(a, b, "trial {trial}");
+            assert_eq!(
+                serial.last_scan_stats().logical_pages,
+                parallel.last_scan_stats().logical_pages,
+                "trial {trial}"
+            );
+            // The exhibits' measured RC must not depend on the engine:
+            // measure_facility charges the logical scan pages, not the
+            // (speculation- and cache-dependent) physical disk delta.
+            let ms = sim.measure_facility(&serial, &q);
+            let mp = sim.measure_facility(&parallel, &q);
+            assert_eq!(ms.filter_pages, mp.filter_pages, "trial {trial}");
+            assert_eq!(ms.total_pages(), mp.total_pages(), "trial {trial}");
+        }
+        // A pooled engine still answers identically.
+        let cached = sim.build_ssf_with(
+            128,
+            2,
+            EngineConfig {
+                threads: 2,
+                pool_pages: Some(64),
+            },
+        );
+        let plain = sim.build_ssf_with(128, 2, EngineConfig::serial());
+        let q = SetQuery::has_subset(vec![ElementKey::from(7u64)]);
+        assert_eq!(
+            plain.candidates(&q).unwrap(),
+            cached.candidates(&q).unwrap()
+        );
+        assert!(cached.cache_stats().is_some());
     }
 
     #[test]

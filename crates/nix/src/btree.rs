@@ -1,7 +1,7 @@
 //! A page-oriented B-tree mapping 8-byte keys to posting lists of OIDs.
 
 use setsig_core::{Error, Result};
-use setsig_pagestore::{Page, PagedFile, PageIo};
+use setsig_pagestore::{Page, PageIo, PagedFile};
 use std::sync::Arc;
 
 use crate::node::{
@@ -34,7 +34,14 @@ impl BTree {
         let mut page = Page::zeroed();
         Leaf::init(&mut page);
         let root = file.append(&page).expect("fresh file append");
-        BTree { file, root, height: 0, key_count: 0, posting_count: 0, meta_file: None }
+        BTree {
+            file,
+            root,
+            height: 0,
+            key_count: 0,
+            posting_count: 0,
+            meta_file: None,
+        }
     }
 
     /// Checkpoints the tree's catalog state (root, height, counters, file
@@ -153,10 +160,17 @@ impl BTree {
     ) -> Result<Option<(u64, u32)>> {
         match Leaf::search(&page, key) {
             Ok(slot) => match Leaf::entry_at(&page, slot) {
-                LeafEntry::Overflow { key, chain_head, total } => {
+                LeafEntry::Overflow {
+                    key,
+                    chain_head,
+                    total,
+                } => {
                     let new_head = self.push_overflow(chain_head, oid)?;
-                    let stub =
-                        LeafEntry::Overflow { key, chain_head: new_head, total: total + 1 };
+                    let stub = LeafEntry::Overflow {
+                        key,
+                        chain_head: new_head,
+                        total: total + 1,
+                    };
                     // Stub is fixed-size: always fits in place.
                     assert!(Leaf::replace_entry(&mut page, slot, &stub));
                     self.file.write(leaf_no, &page)?;
@@ -168,7 +182,11 @@ impl BTree {
                         oids.push(oid);
                         let total = oids.len() as u32;
                         let chain_head = self.build_chain(&oids)?;
-                        let stub = LeafEntry::Overflow { key, chain_head, total };
+                        let stub = LeafEntry::Overflow {
+                            key,
+                            chain_head,
+                            total,
+                        };
                         assert!(Leaf::replace_entry(&mut page, slot, &stub));
                         self.file.write(leaf_no, &page)?;
                         return Ok(None);
@@ -187,7 +205,10 @@ impl BTree {
             },
             Err(pos) => {
                 self.key_count += 1;
-                let entry = LeafEntry::Inline { key, oids: vec![oid] };
+                let entry = LeafEntry::Inline {
+                    key,
+                    oids: vec![oid],
+                };
                 if Leaf::free_space(&page) >= entry.encoded_len() + 4 {
                     Leaf::insert_entry(&mut page, pos, &entry);
                     self.file.write(leaf_no, &page)?;
@@ -235,7 +256,12 @@ impl BTree {
 
     /// Inserts separator keys up the path after a child split; grows a new
     /// root if the old root split.
-    fn propagate_split(&mut self, mut path: Vec<u32>, mut sep: u64, mut new_child: u32) -> Result<()> {
+    fn propagate_split(
+        &mut self,
+        mut path: Vec<u32>,
+        mut sep: u64,
+        mut new_child: u32,
+    ) -> Result<()> {
         while let Some(node_no) = path.pop() {
             let mut page = self.file.read(node_no)?;
             let pos = Internal::child_for(&page, sep);
@@ -306,7 +332,9 @@ impl BTree {
             Err(_) => Ok(Vec::new()),
             Ok(slot) => match Leaf::entry_at(&page, slot) {
                 LeafEntry::Inline { oids, .. } => Ok(oids),
-                LeafEntry::Overflow { chain_head, total, .. } => {
+                LeafEntry::Overflow {
+                    chain_head, total, ..
+                } => {
                     let mut oids = Vec::with_capacity(total as usize);
                     let mut link = chain_head;
                     while link != NO_PAGE {
@@ -341,22 +369,34 @@ impl BTree {
                     self.key_count -= 1;
                 } else {
                     // Shrinking always fits in place.
-                    assert!(Leaf::replace_entry(&mut page, slot, &LeafEntry::Inline { key, oids }));
+                    assert!(Leaf::replace_entry(
+                        &mut page,
+                        slot,
+                        &LeafEntry::Inline { key, oids }
+                    ));
                 }
                 self.file.write(leaf_no, &page)?;
                 self.posting_count -= 1;
                 Ok(true)
             }
-            LeafEntry::Overflow { key, chain_head, total } => {
+            LeafEntry::Overflow {
+                key,
+                chain_head,
+                total,
+            } => {
                 let mut link = chain_head;
                 while link != NO_PAGE {
                     let mut lp = self.file.read(link)?;
-                    if let Some(i) = (0..Overflow::count(&lp)).find(|&i| Overflow::oid(&lp, i) == oid)
+                    if let Some(i) =
+                        (0..Overflow::count(&lp)).find(|&i| Overflow::oid(&lp, i) == oid)
                     {
                         Overflow::swap_remove(&mut lp, i);
                         self.file.write(link, &lp)?;
-                        let stub =
-                            LeafEntry::Overflow { key, chain_head, total: total - 1 };
+                        let stub = LeafEntry::Overflow {
+                            key,
+                            chain_head,
+                            total: total - 1,
+                        };
                         assert!(Leaf::replace_entry(&mut page, slot, &stub));
                         self.file.write(leaf_no, &page)?;
                         self.posting_count -= 1;
@@ -422,7 +462,9 @@ impl BTree {
                     *keys += 1;
                     match Leaf::entry_at(&page, i) {
                         LeafEntry::Inline { oids, .. } => *postings += oids.len() as u64,
-                        LeafEntry::Overflow { chain_head, total, .. } => {
+                        LeafEntry::Overflow {
+                            chain_head, total, ..
+                        } => {
                             let mut seen = 0u64;
                             let mut link = chain_head;
                             while link != NO_PAGE {
@@ -457,9 +499,24 @@ impl BTree {
                     prev = Some(k);
                 }
                 for i in 0..=count {
-                    let lo = if i == 0 { lower } else { Some(Internal::key(&page, i - 1)) };
-                    let hi = if i == count { upper } else { Some(Internal::key(&page, i)) };
-                    self.check_node(Internal::child(&page, i), lo, hi, depth_left - 1, keys, postings)?;
+                    let lo = if i == 0 {
+                        lower
+                    } else {
+                        Some(Internal::key(&page, i - 1))
+                    };
+                    let hi = if i == count {
+                        upper
+                    } else {
+                        Some(Internal::key(&page, i))
+                    };
+                    self.check_node(
+                        Internal::child(&page, i),
+                        lo,
+                        hi,
+                        depth_left - 1,
+                        keys,
+                        postings,
+                    )?;
                 }
                 Ok(())
             }

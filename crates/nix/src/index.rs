@@ -28,7 +28,11 @@ impl Nix {
 
     /// Creates an empty nested index on any page I/O backend.
     pub fn on_io(io: Arc<dyn PageIo>, name: &str) -> Self {
-        Nix { tree: BTree::create(io, &format!("{name}.nix")), indexed: 0, meta_file: None }
+        Nix {
+            tree: BTree::create(io, &format!("{name}.nix")),
+            indexed: 0,
+            meta_file: None,
+        }
     }
 
     /// The underlying B-tree (stats, integrity checks).
@@ -71,9 +75,15 @@ impl Nix {
     /// The §5.1.3 smart strategy: intersect only the first `j_cap` query
     /// elements' posting lists; the remaining elements are verified at drop
     /// resolution (so the result is *not* exact when truncated).
-    pub fn candidates_superset_smart(&self, query: &SetQuery, j_cap: usize) -> Result<CandidateSet> {
+    pub fn candidates_superset_smart(
+        &self,
+        query: &SetQuery,
+        j_cap: usize,
+    ) -> Result<CandidateSet> {
         if query.predicate != SetPredicate::HasSubset {
-            return Err(Error::BadQuery("smart superset strategy requires T ⊇ Q".into()));
+            return Err(Error::BadQuery(
+                "smart superset strategy requires T ⊇ Q".into(),
+            ));
         }
         let take = query.elements.len().min(j_cap.max(1));
         let truncated = SetQuery::has_subset(query.elements[..take].to_vec());
@@ -91,7 +101,10 @@ impl Nix {
         for e in &query.elements {
             acc.extend(self.tree.lookup(e.digest8())?);
         }
-        Ok(CandidateSet::new(acc.into_iter().map(Oid::new).collect(), false))
+        Ok(CandidateSet::new(
+            acc.into_iter().map(Oid::new).collect(),
+            false,
+        ))
     }
 
     /// Set equality via the index: `T = Q` implies `T ⊇ Q`, so intersect
@@ -182,9 +195,12 @@ mod tests {
     #[test]
     fn superset_intersection_is_exact() {
         let (_d, mut n) = nix();
-        n.insert(Oid::new(1), &keys(&["Baseball", "Fishing"])).unwrap();
-        n.insert(Oid::new(2), &keys(&["Baseball", "Tennis"])).unwrap();
-        n.insert(Oid::new(3), &keys(&["Baseball", "Fishing", "Golf"])).unwrap();
+        n.insert(Oid::new(1), &keys(&["Baseball", "Fishing"]))
+            .unwrap();
+        n.insert(Oid::new(2), &keys(&["Baseball", "Tennis"]))
+            .unwrap();
+        n.insert(Oid::new(3), &keys(&["Baseball", "Fishing", "Golf"]))
+            .unwrap();
 
         let q = SetQuery::has_subset(keys(&["Baseball", "Fishing"]));
         let c = n.candidates(&q).unwrap();
@@ -196,7 +212,8 @@ mod tests {
     fn subset_union_needs_verification() {
         let (_d, mut n) = nix();
         n.insert(Oid::new(1), &keys(&["Baseball"])).unwrap();
-        n.insert(Oid::new(2), &keys(&["Baseball", "Skiing"])).unwrap();
+        n.insert(Oid::new(2), &keys(&["Baseball", "Skiing"]))
+            .unwrap();
         let q = SetQuery::in_subset(keys(&["Baseball", "Fishing"]));
         let c = n.candidates(&q).unwrap();
         // Both objects share "Baseball", but object 2 is not a subset:
@@ -210,10 +227,14 @@ mod tests {
         let (_d, mut n) = nix();
         n.insert(Oid::new(1), &keys(&["a", "b"])).unwrap();
         n.insert(Oid::new(2), &keys(&["c"])).unwrap();
-        let c = n.candidates(&SetQuery::contains(ElementKey::from("b"))).unwrap();
+        let c = n
+            .candidates(&SetQuery::contains(ElementKey::from("b")))
+            .unwrap();
         assert_eq!(c.oids, vec![Oid::new(1)]);
         assert!(c.exact);
-        let c = n.candidates(&SetQuery::overlaps(keys(&["b", "c"]))).unwrap();
+        let c = n
+            .candidates(&SetQuery::overlaps(keys(&["b", "c"])))
+            .unwrap();
         assert_eq!(c.oids, vec![Oid::new(1), Oid::new(2)]);
         assert!(c.exact);
     }
@@ -275,7 +296,9 @@ mod tests {
         let (_d, mut n) = nix();
         n.insert(Oid::new(1), &keys(&["a", "a", "a"])).unwrap();
         assert_eq!(n.tree().posting_count(), 1);
-        let c = n.candidates(&SetQuery::contains(ElementKey::from("a"))).unwrap();
+        let c = n
+            .candidates(&SetQuery::contains(ElementKey::from("a")))
+            .unwrap();
         assert_eq!(c.oids, vec![Oid::new(1)]);
     }
 
@@ -336,7 +359,11 @@ impl Nix {
             setsig_pagestore::FileId::from_raw(u32::from_le_bytes(blob[4..8].try_into().unwrap()));
         let indexed = u64::from_le_bytes(blob[8..16].try_into().unwrap());
         let tree = BTree::open(io, tree_meta)?;
-        Ok(Nix { tree, indexed, meta_file: Some(meta_file) })
+        Ok(Nix {
+            tree,
+            indexed,
+            meta_file: Some(meta_file),
+        })
     }
 }
 
@@ -354,7 +381,11 @@ mod meta_tests {
         let mut nix = Nix::create(Arc::clone(&disk), "h");
         // Enough keys to force splits, so root/height survive reopen.
         for i in 0..2000u64 {
-            nix.insert(Oid::new(i), &[ElementKey::from(i % 300), ElementKey::from(i)]).unwrap();
+            nix.insert(
+                Oid::new(i),
+                &[ElementKey::from(i % 300), ElementKey::from(i)],
+            )
+            .unwrap();
         }
         let meta = nix.sync_meta().unwrap();
         disk.save_to(&path).unwrap();
@@ -372,7 +403,9 @@ mod meta_tests {
         reopened.tree().check_integrity().unwrap();
         // Further inserts keep working (splits included).
         for i in 2000..2300u64 {
-            reopened.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+            reopened
+                .insert(Oid::new(i), &[ElementKey::from(i)])
+                .unwrap();
         }
         reopened.tree().check_integrity().unwrap();
 

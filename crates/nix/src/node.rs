@@ -98,7 +98,11 @@ impl LeafEntry {
                     page.write_u64(off + 10 + i * 8, *oid);
                 }
             }
-            LeafEntry::Overflow { key, chain_head, total } => {
+            LeafEntry::Overflow {
+                key,
+                chain_head,
+                total,
+            } => {
                 page.write_u64(off, *key);
                 page.write_u16(off + 8, OVERFLOW_FLAG);
                 page.write_u32(off + 10, *chain_head);
@@ -177,7 +181,9 @@ impl Leaf {
 
     /// All entries, in key order.
     pub fn entries(page: &Page) -> Vec<LeafEntry> {
-        (0..Self::count(page)).map(|i| Self::entry_at(page, i)).collect()
+        (0..Self::count(page))
+            .map(|i| Self::entry_at(page, i))
+            .collect()
     }
 
     /// Binary search for `key`: `Ok(slot)` if present, `Err(insert_pos)`.
@@ -419,10 +425,17 @@ mod tests {
     #[test]
     fn leaf_entry_roundtrip() {
         let mut page = Page::zeroed();
-        let inline = LeafEntry::Inline { key: 42, oids: vec![1, 2, 3] };
+        let inline = LeafEntry::Inline {
+            key: 42,
+            oids: vec![1, 2, 3],
+        };
         inline.write(&mut page, 100);
         assert_eq!(LeafEntry::read(&page, 100), inline);
-        let over = LeafEntry::Overflow { key: 7, chain_head: 9, total: 1000 };
+        let over = LeafEntry::Overflow {
+            key: 7,
+            chain_head: 9,
+            total: 1000,
+        };
         over.write(&mut page, 200);
         assert_eq!(LeafEntry::read(&page, 200), over);
         assert_eq!(inline.encoded_len(), 34);
@@ -435,7 +448,14 @@ mod tests {
         Leaf::init(&mut page);
         for key in [50u64, 10, 30, 20, 40] {
             let pos = Leaf::search(&page, key).unwrap_err();
-            Leaf::insert_entry(&mut page, pos, &LeafEntry::Inline { key, oids: vec![key] });
+            Leaf::insert_entry(
+                &mut page,
+                pos,
+                &LeafEntry::Inline {
+                    key,
+                    oids: vec![key],
+                },
+            );
         }
         assert_eq!(Leaf::count(&page), 5);
         let keys: Vec<u64> = (0..5).map(|i| Leaf::key_at(&page, i)).collect();
@@ -448,15 +468,35 @@ mod tests {
     fn leaf_replace_in_place_and_grow() {
         let mut page = Page::zeroed();
         Leaf::init(&mut page);
-        Leaf::insert_entry(&mut page, 0, &LeafEntry::Inline { key: 1, oids: vec![10, 20] });
+        Leaf::insert_entry(
+            &mut page,
+            0,
+            &LeafEntry::Inline {
+                key: 1,
+                oids: vec![10, 20],
+            },
+        );
         // Shrink: in place, no fragmentation change beyond diff.
-        assert!(Leaf::replace_entry(&mut page, 0, &LeafEntry::Inline { key: 1, oids: vec![10] }));
+        assert!(Leaf::replace_entry(
+            &mut page,
+            0,
+            &LeafEntry::Inline {
+                key: 1,
+                oids: vec![10]
+            }
+        ));
         assert_eq!(
             Leaf::entry_at(&page, 0),
-            LeafEntry::Inline { key: 1, oids: vec![10] }
+            LeafEntry::Inline {
+                key: 1,
+                oids: vec![10]
+            }
         );
         // Grow: appended to heap, old record becomes frag.
-        let grown = LeafEntry::Inline { key: 1, oids: vec![10, 20, 30] };
+        let grown = LeafEntry::Inline {
+            key: 1,
+            oids: vec![10, 20, 30],
+        };
         assert!(Leaf::replace_entry(&mut page, 0, &grown));
         assert_eq!(Leaf::entry_at(&page, 0), grown);
         assert!(Leaf::frag(&page) > 0);
@@ -467,7 +507,14 @@ mod tests {
         let mut page = Page::zeroed();
         Leaf::init(&mut page);
         for (i, key) in [10u64, 20, 30].into_iter().enumerate() {
-            Leaf::insert_entry(&mut page, i, &LeafEntry::Inline { key, oids: vec![key] });
+            Leaf::insert_entry(
+                &mut page,
+                i,
+                &LeafEntry::Inline {
+                    key,
+                    oids: vec![key],
+                },
+            );
         }
         Leaf::remove_entry(&mut page, 1);
         assert_eq!(Leaf::count(&page), 2);
@@ -485,7 +532,10 @@ mod tests {
         Leaf::init(&mut page);
         let before = Leaf::free_space(&page);
         assert_eq!(before, PAGE_SIZE - LEAF_HEADER);
-        let e = LeafEntry::Inline { key: 1, oids: vec![1, 2] };
+        let e = LeafEntry::Inline {
+            key: 1,
+            oids: vec![1, 2],
+        };
         Leaf::insert_entry(&mut page, 0, &e);
         assert_eq!(Leaf::free_space(&page), before - e.encoded_len() - SLOT);
     }

@@ -185,7 +185,11 @@ impl Database {
                 facility.insert(oid, &set)?;
             }
         }
-        self.facilities.push(RegisteredFacility { class, source, facility });
+        self.facilities.push(RegisteredFacility {
+            class,
+            source,
+            facility,
+        });
         Ok(self.facilities.len() - 1)
     }
 
@@ -252,11 +256,17 @@ impl Database {
         candidates: CandidateSet,
         before: setsig_pagestore::IoSnapshot,
     ) -> Result<QueryExecution> {
-        let source = StoreSource { store: &self.store, source: &reg.source };
-        let report = resolve_drops(query, &candidates, &source)
-            .map_err(Error::Facility)?;
+        let source = StoreSource {
+            store: &self.store,
+            source: &reg.source,
+        };
+        let report = resolve_drops(query, &candidates, &source).map_err(Error::Facility)?;
         let io = self.disk.snapshot().since(before);
-        Ok(QueryExecution { actual: report.actual.clone(), report, io })
+        Ok(QueryExecution {
+            actual: report.actual.clone(),
+            report,
+            io,
+        })
     }
 
     /// A [`TargetSetSource`] over `class.attr` backed by the object store —
@@ -269,7 +279,10 @@ impl Database {
         attr_name: &str,
     ) -> Result<impl TargetSetSource + '_> {
         let attr = self.class(class)?.attr_index(attr_name)?;
-        Ok(OwnedStoreSource { store: &self.store, source: IndexedSource::Direct(attr) })
+        Ok(OwnedStoreSource {
+            store: &self.store,
+            source: IndexedSource::Direct(attr),
+        })
     }
 
     /// Full-scan baseline: evaluates the predicate against **every** object
@@ -304,7 +317,11 @@ impl Database {
         let hits = actual.len() as u64;
         Ok(QueryExecution {
             actual,
-            report: DropReport { actual: Vec::new(), false_drops: examined - hits, candidates: examined },
+            report: DropReport {
+                actual: Vec::new(),
+                false_drops: examined - hits,
+                candidates: examined,
+            },
             io,
         })
     }
@@ -313,7 +330,11 @@ impl Database {
 /// Extracts the indexed set of an object under a source: the attribute's
 /// own elements, or the path-derived elements (fetching referenced objects
 /// from `store`, charging their page reads).
-fn source_set(store: &ObjectStore, object: &Object, source: &IndexedSource) -> Result<Vec<ElementKey>> {
+fn source_set(
+    store: &ObjectStore,
+    object: &Object,
+    source: &IndexedSource,
+) -> Result<Vec<ElementKey>> {
     match source {
         IndexedSource::Direct(attr) => object
             .value(*attr)
@@ -380,7 +401,11 @@ impl TargetSetSource for OwnedStoreSource<'_> {
     }
 }
 
-fn fetch_via(store: &ObjectStore, oid: Oid, source: &IndexedSource) -> setsig_core::Result<ElementSet> {
+fn fetch_via(
+    store: &ObjectStore,
+    oid: Oid,
+    source: &IndexedSource,
+) -> setsig_core::Result<ElementSet> {
     let object = store
         .get(oid)
         .map_err(|e| setsig_core::Error::BadQuery(format!("fetch {oid}: {e}")))?;
@@ -469,7 +494,9 @@ mod tests {
         let cfg = SignatureConfig::new(256, 3).unwrap();
         let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
         let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
-        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+        let fidx = db
+            .register_facility(student, "hobbies", Box::new(ssf))
+            .unwrap();
 
         let q = SetQuery::has_subset(vec![ElementKey::from("hobby7")]);
         let via_facility = db.execute_set_query(fidx, &q).unwrap();
@@ -491,7 +518,9 @@ mod tests {
         let cfg = SignatureConfig::new(128, 2).unwrap();
         let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
         let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
-        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+        let fidx = db
+            .register_facility(student, "hobbies", Box::new(ssf))
+            .unwrap();
         let q = SetQuery::has_subset(vec![ElementKey::from("Baseball")]);
         assert_eq!(db.execute_set_query(fidx, &q).unwrap().actual, vec![jeff]);
     }
@@ -514,7 +543,9 @@ mod tests {
         let cfg = SignatureConfig::new(128, 2).unwrap();
         let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
         let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
-        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+        let fidx = db
+            .register_facility(student, "hobbies", Box::new(ssf))
+            .unwrap();
 
         let jeff = add_student(&mut db, student, "Jeff", &["Baseball"]);
         let bob = add_student(&mut db, student, "Bob", &["Baseball"]);
@@ -531,7 +562,9 @@ mod tests {
         let cfg = SignatureConfig::new(256, 2).unwrap();
         let io: Arc<dyn PageIo> = Arc::clone(db.disk()) as Arc<dyn PageIo>;
         let ssf = Ssf::create(io, "hobbies", cfg).unwrap();
-        let fidx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+        let fidx = db
+            .register_facility(student, "hobbies", Box::new(ssf))
+            .unwrap();
 
         let a = add_student(&mut db, student, "A", &["Baseball"]);
         let b = add_student(&mut db, student, "B", &["Baseball", "Fishing"]);

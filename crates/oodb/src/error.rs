@@ -42,7 +42,11 @@ impl std::fmt::Display for Error {
             Error::NoSuchClassName(name) => write!(f, "no such class: {name:?}"),
             Error::DuplicateClass(name) => write!(f, "class {name:?} already defined"),
             Error::NoSuchAttribute(name) => write!(f, "no such attribute: {name:?}"),
-            Error::TypeMismatch { attribute, expected, got } => {
+            Error::TypeMismatch {
+                attribute,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute {attribute:?}: expected {expected}, got {got}")
             }
             Error::NotASetAttribute(name) => {

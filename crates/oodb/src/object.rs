@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn empty_values_roundtrip() {
-        let obj = Object { oid: Oid::new(0), class: ClassId(0), values: vec![] };
+        let obj = Object {
+            oid: Oid::new(0),
+            class: ClassId(0),
+            values: vec![],
+        };
         assert_eq!(Object::decode(&obj.encode()).unwrap(), obj);
     }
 

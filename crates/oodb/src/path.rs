@@ -60,7 +60,10 @@ impl Database {
                 "{target_attr_name:?} is not a primitive attribute"
             )));
         }
-        let spec = PathSpec { ref_attr, target_attr };
+        let spec = PathSpec {
+            ref_attr,
+            target_attr,
+        };
         self.register_derived(class, spec, facility)
     }
 }
@@ -88,7 +91,10 @@ mod tests {
         let student = db
             .define_class(ClassDef::new(
                 "Student",
-                vec![("name", AttrType::Str), ("courses", AttrType::set_of(AttrType::Ref))],
+                vec![
+                    ("name", AttrType::Str),
+                    ("courses", AttrType::set_of(AttrType::Ref)),
+                ],
             ))
             .unwrap();
         let mut courses = Vec::new();
@@ -99,7 +105,8 @@ mod tests {
             ("Compilers", "CS"),
         ] {
             courses.push(
-                db.insert_object(course, vec![Value::str(name), Value::str(cat)]).unwrap(),
+                db.insert_object(course, vec![Value::str(name), Value::str(cat)])
+                    .unwrap(),
             );
         }
         (db, student, courses, course)
@@ -115,19 +122,31 @@ mod tests {
         let (mut db, student, c, _course) = sample();
         let fac = facility(&db);
         let idx = db
-            .register_path_facility(student, "courses", db.class_by_name("Course").unwrap(), "category", fac)
+            .register_path_facility(
+                student,
+                "courses",
+                db.class_by_name("Course").unwrap(),
+                "category",
+                fac,
+            )
             .unwrap();
 
         let jeff = db
             .insert_object(
                 student,
-                vec![Value::str("Jeff"), Value::set(vec![Value::Ref(c[0]), Value::Ref(c[1])])],
+                vec![
+                    Value::str("Jeff"),
+                    Value::set(vec![Value::Ref(c[0]), Value::Ref(c[1])]),
+                ],
             )
             .unwrap();
         let ann = db
             .insert_object(
                 student,
-                vec![Value::str("Ann"), Value::set(vec![Value::Ref(c[0]), Value::Ref(c[2])])],
+                vec![
+                    Value::str("Ann"),
+                    Value::set(vec![Value::Ref(c[0]), Value::Ref(c[2])]),
+                ],
             )
             .unwrap();
         let bob = db
@@ -159,7 +178,13 @@ mod tests {
         let (mut db, student, c, _) = sample();
         let fac = facility(&db);
         let idx = db
-            .register_path_facility(student, "courses", db.class_by_name("Course").unwrap(), "category", fac)
+            .register_path_facility(
+                student,
+                "courses",
+                db.class_by_name("Course").unwrap(),
+                "category",
+                fac,
+            )
             .unwrap();
         let jeff = db
             .insert_object(
@@ -185,7 +210,13 @@ mod tests {
             .unwrap();
         let fac = facility(&db);
         let idx = db
-            .register_path_facility(student, "courses", db.class_by_name("Course").unwrap(), "category", fac)
+            .register_path_facility(
+                student,
+                "courses",
+                db.class_by_name("Course").unwrap(),
+                "category",
+                fac,
+            )
             .unwrap();
         let r = db
             .execute_set_query(idx, &SetQuery::contains(ElementKey::from("DB")))
@@ -213,11 +244,15 @@ mod tests {
     fn dangling_reference_surfaces_as_error() {
         let (mut db, student, _c, course) = sample();
         let fac = facility(&db);
-        db.register_path_facility(student, "courses", course, "category", fac).unwrap();
+        db.register_path_facility(student, "courses", course, "category", fac)
+            .unwrap();
         // Reference an OID that was never stored.
         let err = db.insert_object(
             student,
-            vec![Value::str("X"), Value::set(vec![Value::Ref(Oid::new(9999))])],
+            vec![
+                Value::str("X"),
+                Value::set(vec![Value::Ref(Oid::new(9999))]),
+            ],
         );
         assert!(matches!(err, Err(Error::NoSuchObject(_))));
     }

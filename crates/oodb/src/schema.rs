@@ -56,8 +56,7 @@ impl AttrType {
             (AttrType::Ref, Value::Ref(_)) => true,
             (AttrType::Set(inner), Value::Set(elems)) => elems.iter().all(|e| inner.check(e)),
             (AttrType::Tuple(types), Value::Tuple(elems)) => {
-                types.len() == elems.len()
-                    && types.iter().zip(elems).all(|(t, e)| t.check(e))
+                types.len() == elems.len() && types.iter().zip(elems).all(|(t, e)| t.check(e))
             }
             _ => false,
         }
@@ -104,7 +103,10 @@ impl ClassDef {
             name: name.to_owned(),
             attrs: attrs
                 .into_iter()
-                .map(|(n, ty)| AttrDef { name: n.to_owned(), ty })
+                .map(|(n, ty)| AttrDef {
+                    name: n.to_owned(),
+                    ty,
+                })
                 .collect(),
         }
     }
@@ -159,7 +161,10 @@ mod tests {
     fn attr_lookup() {
         let c = student();
         assert_eq!(c.attr_index("hobbies").unwrap(), 2);
-        assert!(matches!(c.attr_index("gpa"), Err(Error::NoSuchAttribute(_))));
+        assert!(matches!(
+            c.attr_index("gpa"),
+            Err(Error::NoSuchAttribute(_))
+        ));
     }
 
     #[test]

@@ -133,7 +133,10 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery> {
         _ => return Err(bad("expected a class name after `select`")),
     };
     if it.peek().is_none() {
-        return Ok(ParsedQuery { class_name, condition: None });
+        return Ok(ParsedQuery {
+            class_name,
+            condition: None,
+        });
     }
     match it.next() {
         Some(Token::Ident(kw)) if kw.eq_ignore_ascii_case("where") => {}
@@ -185,7 +188,10 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery> {
         }
         other => return Err(bad(&format!("unknown operator {other:?}"))),
     };
-    Ok(ParsedQuery { class_name, condition: Some((attr, query)) })
+    Ok(ParsedQuery {
+        class_name,
+        condition: Some((attr, query)),
+    })
 }
 
 impl Database {
@@ -248,10 +254,8 @@ mod tests {
 
     #[test]
     fn parses_the_papers_q1_and_q2() {
-        let q1 = parse_query(
-            r#"select Student where hobbies has-subset ("Baseball", "Fishing")"#,
-        )
-        .unwrap();
+        let q1 = parse_query(r#"select Student where hobbies has-subset ("Baseball", "Fishing")"#)
+            .unwrap();
         assert_eq!(q1.class_name, "Student");
         let (attr, query) = q1.condition.unwrap();
         assert_eq!(attr, "hobbies");
@@ -271,7 +275,10 @@ mod tests {
             ("select C where xs equals (1, 2)", SetPredicate::Equals),
             ("select C where xs overlaps (1)", SetPredicate::Overlaps),
             ("select C where xs contains 7", SetPredicate::Contains),
-            ("select C where xs contains 'single'", SetPredicate::Contains),
+            (
+                "select C where xs contains 'single'",
+                SetPredicate::Contains,
+            ),
             ("select C where xs has-subset ()", SetPredicate::HasSubset),
         ] {
             let p = parse_query(text).unwrap();
@@ -307,12 +314,16 @@ mod tests {
         let student = db
             .define_class(ClassDef::new(
                 "Student",
-                vec![("name", AttrType::Str), ("hobbies", AttrType::set_of(AttrType::Str))],
+                vec![
+                    ("name", AttrType::Str),
+                    ("hobbies", AttrType::set_of(AttrType::Str)),
+                ],
             ))
             .unwrap();
         let io = Arc::clone(db.disk()) as Arc<dyn PageIo>;
         let ssf = Ssf::create(io, "h", SignatureConfig::new(128, 2).unwrap()).unwrap();
-        db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
+        db.register_facility(student, "hobbies", Box::new(ssf))
+            .unwrap();
 
         let jeff = db
             .insert_object(

@@ -11,7 +11,7 @@
 //! physical address is embedded in (or hashed from) the OID itself, so the
 //! paper's model charges no I/O for the translation.
 
-use setsig_pagestore::{Page, PagedFile, PageIo, PAGE_SIZE};
+use setsig_pagestore::{Page, PageIo, PagedFile, PAGE_SIZE};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -102,7 +102,10 @@ impl ObjectStore {
             Some((page_no, free, nslots)) if free >= needed => {
                 self.file.update(page_no, |page| write_slot(page, record))?;
                 self.tail = Some((page_no, free - needed, nslots + 1));
-                Ok(Location::Slot { page: page_no, slot: nslots })
+                Ok(Location::Slot {
+                    page: page_no,
+                    slot: nslots,
+                })
             }
             _ => {
                 let mut page = Page::zeroed();
@@ -110,7 +113,10 @@ impl ObjectStore {
                 write_slot(&mut page, record);
                 let page_no = self.file.append(&page)?;
                 self.tail = Some((page_no, PAGE_SIZE - HEADER - needed, 1));
-                Ok(Location::Slot { page: page_no, slot: 0 })
+                Ok(Location::Slot {
+                    page: page_no,
+                    slot: 0,
+                })
             }
         }
     }
@@ -125,7 +131,10 @@ impl ObjectStore {
         // A spanning insert closes the current tail page: subsequent inline
         // records start a fresh page, keeping spans contiguous.
         self.tail = None;
-        Ok(Location::Spanning { first_page, len: record.len() as u32 })
+        Ok(Location::Spanning {
+            first_page,
+            len: record.len() as u32,
+        })
     }
 
     /// Fetches the object `oid`. Inline records cost one page read;
@@ -161,7 +170,10 @@ impl ObjectStore {
     /// Deletes `oid`: tombstones its slot (one read + one write for inline
     /// records; spanning pages are only dropped from the directory).
     pub fn delete(&mut self, oid: Oid) -> Result<()> {
-        let loc = self.directory.remove(&oid).ok_or(Error::NoSuchObject(oid))?;
+        let loc = self
+            .directory
+            .remove(&oid)
+            .ok_or(Error::NoSuchObject(oid))?;
         if let Location::Slot { page, slot } = loc {
             self.file.modify(page, |p| {
                 let slot_off = PAGE_SIZE - (slot as usize + 1) * SLOT;
@@ -222,7 +234,9 @@ mod tests {
             oid: Oid::new(oid),
             class: ClassId(0),
             values: vec![Value::set(
-                (0..hobby_count).map(|i| Value::Int((oid * 100 + i) as i64)).collect(),
+                (0..hobby_count)
+                    .map(|i| Value::Int((oid * 100 + i) as i64))
+                    .collect(),
             )],
         }
     }

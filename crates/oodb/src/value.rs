@@ -135,8 +135,7 @@ impl Value {
                     .ok_or_else(|| corrupt("truncated string"))?;
                 *pos += len;
                 Ok(Value::Str(
-                    String::from_utf8(raw.to_vec())
-                        .map_err(|_| corrupt("string not utf-8"))?,
+                    String::from_utf8(raw.to_vec()).map_err(|_| corrupt("string not utf-8"))?,
                 ))
             }
             TAG_REF => {
@@ -159,7 +158,11 @@ impl Value {
                 for _ in 0..len {
                     elems.push(Value::decode(bytes, pos)?);
                 }
-                Ok(if tag == TAG_SET { Value::Set(elems) } else { Value::Tuple(elems) })
+                Ok(if tag == TAG_SET {
+                    Value::Set(elems)
+                } else {
+                    Value::Tuple(elems)
+                })
             }
             other => Err(Error::CorruptObject(format!("unknown value tag {other}"))),
         }
@@ -206,7 +209,11 @@ mod tests {
         // "Fishing"}]
         let student = Value::Tuple(vec![
             Value::str("Jeff"),
-            Value::set(vec![Value::Ref(Oid::new(1)), Value::Ref(Oid::new(3)), Value::Ref(Oid::new(4))]),
+            Value::set(vec![
+                Value::Ref(Oid::new(1)),
+                Value::Ref(Oid::new(3)),
+                Value::Ref(Oid::new(4)),
+            ]),
             Value::set(vec![Value::str("Baseball"), Value::str("Fishing")]),
         ]);
         assert_eq!(roundtrip(&student), student);
@@ -240,10 +247,10 @@ mod tests {
     #[test]
     fn corrupt_records_are_rejected_not_panicking() {
         for bytes in [
-            vec![],                    // empty
-            vec![99],                  // unknown tag
-            vec![TAG_INT, 1, 2],       // truncated int
-            vec![TAG_STR, 10, 0, 0, 0, b'a'], // truncated string
+            vec![],                            // empty
+            vec![99],                          // unknown tag
+            vec![TAG_INT, 1, 2],               // truncated int
+            vec![TAG_STR, 10, 0, 0, 0, b'a'],  // truncated string
             vec![TAG_SET, 255, 255, 255, 255], // absurd length
         ] {
             let mut pos = 0;
@@ -261,6 +268,9 @@ mod corrupt_ref_tests {
         let mut bytes = vec![TAG_REF];
         bytes.extend_from_slice(&u64::MAX.to_le_bytes());
         let mut pos = 0;
-        assert!(matches!(Value::decode(&bytes, &mut pos), Err(Error::CorruptObject(_))));
+        assert!(matches!(
+            Value::decode(&bytes, &mut pos),
+            Err(Error::CorruptObject(_))
+        ));
     }
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use setsig_core::Oid;
-use setsig_oodb::{Database, AttrType, ClassDef, Object, ObjectStore, Value};
+use setsig_oodb::{AttrType, ClassDef, Database, Object, ObjectStore, Value};
 use setsig_pagestore::{Disk, PageIo};
 use std::collections::HashMap;
 use std::sync::Arc;

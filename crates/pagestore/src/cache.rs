@@ -1,10 +1,12 @@
-//! A clock-replacement buffer pool layered over a [`Disk`].
+//! An LRU buffer pool layered over a [`Disk`].
 //!
 //! The paper's cost model assumes **no buffering** — every page touched is a
-//! page access. The buffer pool exists for the ablation experiments: how much
-//! of SSF's full-scan penalty or NIX's repeated root/non-leaf lookups would a
-//! small page cache absorb? Reads served from the pool do not reach the
-//! underlying disk and therefore do not appear in its counters.
+//! page access. The buffer pool exists for the ablation experiments and for
+//! the cached query engines: hot BSSF slice pages and SSF signature pages
+//! are served from the pool on re-query. Reads served from the pool do not
+//! reach the underlying disk and therefore do not appear in its counters;
+//! the engines' *logical* page accounting ([`ScanStats`] in `setsig-core`)
+//! stays cache-independent.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -38,21 +40,66 @@ impl CacheStats {
     }
 }
 
+/// Sentinel for "no neighbour" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
 struct Frame {
     key: (FileId, u32),
     page: Page,
-    referenced: bool,
+    /// Towards the MRU end.
+    prev: usize,
+    /// Towards the LRU end.
+    next: usize,
 }
 
 struct PoolInner {
     frames: Vec<Frame>,
     map: HashMap<(FileId, u32), usize>,
-    hand: usize,
+    /// Most recently used frame, or [`NIL`] when empty.
+    head: usize,
+    /// Least recently used frame (the eviction victim), or [`NIL`].
+    tail: usize,
     stats: CacheStats,
 }
 
-/// A fixed-capacity page cache with second-chance (clock) replacement and a
-/// write-through policy.
+impl PoolInner {
+    fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.frames[slot].prev, self.frames[slot].next);
+        if p != NIL {
+            self.frames[p].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.frames[n].prev = p;
+        } else {
+            self.tail = p;
+        }
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+}
+
+/// A fixed-capacity page cache with true LRU replacement (an intrusive
+/// recency list, O(1) per access) and a write-through policy.
 ///
 /// Write-through keeps the underlying [`Disk`] contents authoritative at all
 /// times, so experiments can mix cached readers with uncached ones, and the
@@ -73,7 +120,8 @@ impl BufferPool {
             inner: Mutex::new(PoolInner {
                 frames: Vec::with_capacity(capacity),
                 map: HashMap::new(),
-                hand: 0,
+                head: NIL,
+                tail: NIL,
                 stats: CacheStats::default(),
             }),
         }
@@ -94,37 +142,38 @@ impl BufferPool {
         let mut g = self.inner.lock();
         g.frames.clear();
         g.map.clear();
-        g.hand = 0;
+        g.head = NIL;
+        g.tail = NIL;
     }
 
     fn install(&self, g: &mut PoolInner, key: (FileId, u32), page: Page) {
         if let Some(&slot) = g.map.get(&key) {
             g.frames[slot].page = page;
-            g.frames[slot].referenced = true;
+            g.touch(slot);
             return;
         }
         if g.frames.len() < self.capacity {
             let slot = g.frames.len();
-            g.frames.push(Frame { key, page, referenced: true });
+            g.frames.push(Frame {
+                key,
+                page,
+                prev: NIL,
+                next: NIL,
+            });
             g.map.insert(key, slot);
+            g.push_front(slot);
             return;
         }
-        // Clock sweep: find a frame whose reference bit is clear, clearing
-        // bits as we pass. Terminates within two sweeps.
-        loop {
-            let slot = g.hand;
-            g.hand = (g.hand + 1) % self.capacity;
-            if g.frames[slot].referenced {
-                g.frames[slot].referenced = false;
-            } else {
-                let old = g.frames[slot].key;
-                g.map.remove(&old);
-                g.frames[slot] = Frame { key, page, referenced: true };
-                g.map.insert(key, slot);
-                g.stats.evictions += 1;
-                return;
-            }
-        }
+        // Evict the least recently used frame and reuse its slot.
+        let slot = g.tail;
+        g.unlink(slot);
+        let old = g.frames[slot].key;
+        g.map.remove(&old);
+        g.frames[slot].key = key;
+        g.frames[slot].page = page;
+        g.map.insert(key, slot);
+        g.push_front(slot);
+        g.stats.evictions += 1;
     }
 }
 
@@ -134,7 +183,7 @@ impl PageIo for BufferPool {
         {
             let mut g = self.inner.lock();
             if let Some(&slot) = g.map.get(&key) {
-                g.frames[slot].referenced = true;
+                g.touch(slot);
                 g.stats.hits += 1;
                 return Ok(g.frames[slot].page.clone());
             }
@@ -266,6 +315,38 @@ mod tests {
         disk.reset_stats();
         let _ = pool.read_page(f, 0).unwrap();
         assert_eq!(disk.snapshot().reads, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // A recency-respecting victim choice: after re-touching page 0, the
+        // coldest page (1) is the one a new page displaces.
+        let (disk, pool) = pool(3);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 5).unwrap();
+        for n in 0..3 {
+            let _ = pool.read_page(f, n).unwrap();
+        }
+        let _ = pool.read_page(f, 0).unwrap(); // 0 becomes MRU
+        let _ = pool.read_page(f, 3).unwrap(); // must evict 1, not 0
+        disk.reset_stats();
+        for n in [0, 2, 3] {
+            let _ = pool.read_page(f, n).unwrap();
+        }
+        assert_eq!(disk.snapshot().reads, 0, "0/2/3 are resident");
+        let _ = pool.read_page(f, 1).unwrap();
+        assert_eq!(disk.snapshot().reads, 1, "1 was the LRU victim");
+    }
+
+    #[test]
+    fn eviction_counter_tracks_displacements() {
+        let (disk, pool) = pool(2);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 3).unwrap();
+        for n in 0..3 {
+            let _ = pool.read_page(f, n).unwrap();
+        }
+        assert_eq!(pool.stats().evictions, 1);
     }
 
     #[test]

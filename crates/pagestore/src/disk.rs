@@ -110,7 +110,11 @@ impl Disk {
         Ok(())
     }
 
-    fn with_file<R>(&self, id: FileId, f: impl FnOnce(&mut FileData, &mut IoSnapshot) -> Result<R>) -> Result<R> {
+    fn with_file<R>(
+        &self,
+        id: FileId,
+        f: impl FnOnce(&mut FileData, &mut IoSnapshot) -> Result<R>,
+    ) -> Result<R> {
         let mut g = self.inner.lock();
         let inner = &mut *g;
         if let Some(remaining) = &mut inner.fail_after {
@@ -150,10 +154,11 @@ impl Disk {
     pub fn with_page<R>(&self, id: FileId, n: u32, f: impl FnOnce(&Page) -> R) -> Result<R> {
         self.with_file(id, |data, total| {
             let len = data.pages.len() as u32;
-            let page = data
-                .pages
-                .get(n as usize)
-                .ok_or(Error::PageOutOfBounds { file: id, page: n, len })?;
+            let page = data.pages.get(n as usize).ok_or(Error::PageOutOfBounds {
+                file: id,
+                page: n,
+                len,
+            })?;
             let seq = data.last_access == Some(n.wrapping_sub(1)) && n > 0;
             data.stats.reads += 1;
             if seq {
@@ -182,7 +187,11 @@ impl Disk {
             let page = data
                 .pages
                 .get_mut(n as usize)
-                .ok_or(Error::PageOutOfBounds { file: id, page: n, len })?;
+                .ok_or(Error::PageOutOfBounds {
+                    file: id,
+                    page: n,
+                    len,
+                })?;
             let seq = data.last_access == Some(n.wrapping_sub(1)) && n > 0;
             data.stats.writes += 1;
             if seq {
@@ -284,11 +293,7 @@ impl Disk {
     /// measured counterpart of the paper's storage cost `SC`.
     pub fn total_pages(&self) -> u64 {
         let g = self.inner.lock();
-        g.files
-            .iter()
-            .flatten()
-            .map(|d| d.pages.len() as u64)
-            .sum()
+        g.files.iter().flatten().map(|d| d.pages.len() as u64).sum()
     }
 
     pub(crate) fn dump_files(&self) -> Vec<(u32, String, Vec<Page>)> {
@@ -331,7 +336,11 @@ impl std::fmt::Debug for Disk {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let g = self.inner.lock();
         let live = g.files.iter().flatten().count();
-        write!(f, "Disk {{ files: {live}, reads: {}, writes: {} }}", g.total.reads, g.total.writes)
+        write!(
+            f,
+            "Disk {{ files: {live}, reads: {}, writes: {} }}",
+            g.total.reads, g.total.writes
+        )
     }
 }
 
@@ -473,7 +482,11 @@ mod tests {
         let f = disk.create_file("t");
         assert_eq!(
             disk.read_page(f, 0),
-            Err(Error::PageOutOfBounds { file: f, page: 0, len: 0 })
+            Err(Error::PageOutOfBounds {
+                file: f,
+                page: 0,
+                len: 0
+            })
         );
     }
 

@@ -27,7 +27,10 @@ impl std::fmt::Display for Error {
         match self {
             Error::FileNotFound(id) => write!(f, "file {id:?} not found"),
             Error::PageOutOfBounds { file, page, len } => {
-                write!(f, "page {page} out of bounds for file {file:?} of {len} pages")
+                write!(
+                    f,
+                    "page {page} out of bounds for file {file:?} of {len} pages"
+                )
             }
             Error::CorruptImage(msg) => write!(f, "corrupt disk image: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),

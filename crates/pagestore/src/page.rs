@@ -25,7 +25,9 @@ impl Page {
 
     /// Creates a page from an exact `PAGE_SIZE`-byte buffer.
     pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
-        Page { bytes: Box::new(bytes) }
+        Page {
+            bytes: Box::new(bytes),
+        }
     }
 
     /// The raw page contents.

@@ -106,25 +106,57 @@ mod tests {
 
     #[test]
     fn snapshot_delta() {
-        let a = IoSnapshot { reads: 10, writes: 4 };
-        let b = IoSnapshot { reads: 25, writes: 9 };
+        let a = IoSnapshot {
+            reads: 10,
+            writes: 4,
+        };
+        let b = IoSnapshot {
+            reads: 25,
+            writes: 9,
+        };
         let d = b.since(a);
-        assert_eq!(d, IoDelta { reads: 15, writes: 5 });
+        assert_eq!(
+            d,
+            IoDelta {
+                reads: 15,
+                writes: 5
+            }
+        );
         assert_eq!(d.accesses(), 20);
     }
 
     #[test]
     fn delta_addition() {
-        let mut d = IoDelta { reads: 1, writes: 2 };
-        d += IoDelta { reads: 3, writes: 4 };
-        assert_eq!(d, IoDelta { reads: 4, writes: 6 });
-        let e = d + IoDelta { reads: 1, writes: 1 };
+        let mut d = IoDelta {
+            reads: 1,
+            writes: 2,
+        };
+        d += IoDelta {
+            reads: 3,
+            writes: 4,
+        };
+        assert_eq!(
+            d,
+            IoDelta {
+                reads: 4,
+                writes: 6
+            }
+        );
+        let e = d + IoDelta {
+            reads: 1,
+            writes: 1,
+        };
         assert_eq!(e.accesses(), 12);
     }
 
     #[test]
     fn file_stats_accesses() {
-        let fs = FileStats { reads: 7, writes: 3, seq_reads: 2, seq_writes: 1 };
+        let fs = FileStats {
+            reads: 7,
+            writes: 3,
+            seq_reads: 2,
+            seq_writes: 1,
+        };
         assert_eq!(fs.accesses(), 10);
     }
 }

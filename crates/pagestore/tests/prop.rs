@@ -15,7 +15,11 @@ enum Op {
 fn op_strategy(nfiles: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..nfiles, any::<u64>()).prop_map(|(file, tag)| Op::Append { file, tag }),
-        (0..nfiles, 0u32..32, any::<u64>()).prop_map(|(file, page, tag)| Op::Write { file, page, tag }),
+        (0..nfiles, 0u32..32, any::<u64>()).prop_map(|(file, page, tag)| Op::Write {
+            file,
+            page,
+            tag
+        }),
         (0..nfiles, 0u32..32).prop_map(|(file, page)| Op::Read { file, page }),
     ]
 }

@@ -93,7 +93,11 @@ impl SetGenerator {
             Distribution::Uniform => None,
             Distribution::Zipf(theta) => Some(Zipf::new(cfg.domain as usize, theta)),
         };
-        SetGenerator { rng: StdRng::seed_from_u64(cfg.seed), cfg, zipf }
+        SetGenerator {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            zipf,
+        }
     }
 
     /// The config in force.
@@ -110,7 +114,11 @@ impl SetGenerator {
 
     /// Draws one target set: distinct elements, ascending order.
     pub fn next_set(&mut self) -> Vec<u64> {
-        let d = self.cfg.cardinality.sample(&mut self.rng).min(self.cfg.domain as u32);
+        let d = self
+            .cfg
+            .cardinality
+            .sample(&mut self.rng)
+            .min(self.cfg.domain as u32);
         let mut set = BTreeSet::new();
         while (set.len() as u32) < d {
             let e = self.draw_element();
@@ -134,7 +142,10 @@ pub struct QueryGen {
 impl QueryGen {
     /// Creates a query generator over a `domain`-element domain.
     pub fn new(domain: u64, seed: u64) -> Self {
-        QueryGen { domain, rng: StdRng::seed_from_u64(seed) }
+        QueryGen {
+            domain,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// A uniform random query set of cardinality `d_q` — the paper's
@@ -151,7 +162,10 @@ impl QueryGen {
     /// A `T ⊇ Q` query guaranteed to hit `target`: a random `d_q`-subset of
     /// the target set. Panics if `d_q > |target|`.
     pub fn subset_of_target(&mut self, target: &[u64], d_q: u32) -> Vec<u64> {
-        assert!(d_q as usize <= target.len(), "d_q exceeds target cardinality");
+        assert!(
+            d_q as usize <= target.len(),
+            "d_q exceeds target cardinality"
+        );
         let mut pool: Vec<u64> = target.to_vec();
         // Partial Fisher–Yates: the first d_q positions become the sample.
         for i in 0..d_q as usize {

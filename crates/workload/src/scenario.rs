@@ -7,13 +7,56 @@ use std::collections::BTreeSet;
 /// A pool of hobby names, so example databases read like the paper's
 /// (`"Baseball"`, `"Fishing"`, …) rather than opaque integers.
 pub const HOBBY_NAMES: &[&str] = &[
-    "Baseball", "Fishing", "Tennis", "Golf", "Football", "Swimming", "Chess", "Skiing",
-    "Running", "Cycling", "Hiking", "Climbing", "Sailing", "Rowing", "Archery", "Judo",
-    "Karate", "Kendo", "Shogi", "Go", "Painting", "Pottery", "Calligraphy", "Origami",
-    "Photography", "Gardening", "Cooking", "Baking", "Reading", "Writing", "Astronomy",
-    "Birdwatching", "Surfing", "Skating", "Bowling", "Billiards", "Darts", "Badminton",
-    "Volleyball", "Basketball", "Handball", "Rugby", "Cricket", "Squash", "Fencing",
-    "Boxing", "Wrestling", "Weightlifting", "Yoga", "Dancing",
+    "Baseball",
+    "Fishing",
+    "Tennis",
+    "Golf",
+    "Football",
+    "Swimming",
+    "Chess",
+    "Skiing",
+    "Running",
+    "Cycling",
+    "Hiking",
+    "Climbing",
+    "Sailing",
+    "Rowing",
+    "Archery",
+    "Judo",
+    "Karate",
+    "Kendo",
+    "Shogi",
+    "Go",
+    "Painting",
+    "Pottery",
+    "Calligraphy",
+    "Origami",
+    "Photography",
+    "Gardening",
+    "Cooking",
+    "Baking",
+    "Reading",
+    "Writing",
+    "Astronomy",
+    "Birdwatching",
+    "Surfing",
+    "Skating",
+    "Bowling",
+    "Billiards",
+    "Darts",
+    "Badminton",
+    "Volleyball",
+    "Basketball",
+    "Handball",
+    "Rugby",
+    "Cricket",
+    "Squash",
+    "Fencing",
+    "Boxing",
+    "Wrestling",
+    "Weightlifting",
+    "Yoga",
+    "Dancing",
 ];
 
 /// One generated student.
@@ -81,6 +124,9 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(university_hobbies(10, 5, 6, 1), university_hobbies(10, 5, 6, 2));
+        assert_ne!(
+            university_hobbies(10, 5, 6, 1),
+            university_hobbies(10, 5, 6, 2)
+        );
     }
 }

@@ -80,7 +80,10 @@ impl TraceConfig {
 
 /// Expands `cfg` into a deterministic operation sequence.
 pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceOp> {
-    assert!(cfg.weights.iter().sum::<u32>() > 0, "weights must not all be zero");
+    assert!(
+        cfg.weights.iter().sum::<u32>() > 0,
+        "weights must not all be zero"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let total: u32 = cfg.weights.iter().sum();
     let draw_set = |rng: &mut StdRng, card: u32| -> Vec<u64> {
@@ -96,10 +99,16 @@ pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceOp> {
             for (i, &w) in cfg.weights.iter().enumerate() {
                 if pick < w {
                     return match i {
-                        0 => TraceOp::Insert { set: draw_set(&mut rng, cfg.d_t) },
+                        0 => TraceOp::Insert {
+                            set: draw_set(&mut rng, cfg.d_t),
+                        },
                         1 => TraceOp::Delete { victim: rng.gen() },
-                        2 => TraceOp::SupersetQuery { query: draw_set(&mut rng, cfg.d_q_superset) },
-                        _ => TraceOp::SubsetQuery { query: draw_set(&mut rng, cfg.d_q_subset) },
+                        2 => TraceOp::SupersetQuery {
+                            query: draw_set(&mut rng, cfg.d_q_superset),
+                        },
+                        _ => TraceOp::SubsetQuery {
+                            query: draw_set(&mut rng, cfg.d_q_subset),
+                        },
                     };
                 }
                 pick -= w;
@@ -126,13 +135,19 @@ mod tests {
     fn mix_roughly_matches_weights() {
         let cfg = TraceConfig::query_heavy(10_000);
         let trace = generate_trace(&cfg);
-        let inserts = trace.iter().filter(|o| matches!(o, TraceOp::Insert { .. })).count();
+        let inserts = trace
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Insert { .. }))
+            .count();
         let sups = trace
             .iter()
             .filter(|o| matches!(o, TraceOp::SupersetQuery { .. }))
             .count();
         // Weights 10/2/44/44: inserts ≈ 10%, ⊇ ≈ 44%.
-        assert!((0.07..0.13).contains(&(inserts as f64 / 10_000.0)), "{inserts}");
+        assert!(
+            (0.07..0.13).contains(&(inserts as f64 / 10_000.0)),
+            "{inserts}"
+        );
         assert!((0.40..0.48).contains(&(sups as f64 / 10_000.0)), "{sups}");
     }
 
@@ -159,7 +174,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_weights_rejected() {
-        let cfg = TraceConfig { weights: [0; 4], ..TraceConfig::query_heavy(10) };
+        let cfg = TraceConfig {
+            weights: [0; 4],
+            ..TraceConfig::query_heavy(10)
+        };
         let _ = generate_trace(&cfg);
     }
 }

@@ -16,12 +16,21 @@ use std::sync::Arc;
 
 fn main() {
     let image = std::env::temp_dir().join("setsig-demo-image.bin");
-    let cfg = WorkloadConfig { n_objects: 2000, domain: 800, ..WorkloadConfig::paper(10) };
+    let cfg = WorkloadConfig {
+        n_objects: 2000,
+        domain: 800,
+        ..WorkloadConfig::paper(10)
+    };
     let sets = SetGenerator::new(cfg).generate_all();
     let items: Vec<(Oid, Vec<ElementKey>)> = sets
         .iter()
         .enumerate()
-        .map(|(i, s)| (Oid::new(i as u64), s.iter().map(|&e| ElementKey::from(e)).collect()))
+        .map(|(i, s)| {
+            (
+                Oid::new(i as u64),
+                s.iter().map(|&e| ElementKey::from(e)).collect(),
+            )
+        })
         .collect();
 
     // ── Session 1: build, checkpoint, save ──────────────────────────────

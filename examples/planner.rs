@@ -43,7 +43,10 @@ fn choose(p: Params, f: u32, m: u32, d_t: u32, q: &SetQuery) -> (Plan, f64) {
             let opt = bssf.d_q_opt().round().max(1.0) as u32;
             if d_q < opt {
                 let slice_cap = (f as f64 - bssf.m_s(opt)).round().max(1.0) as u32;
-                plans.push((Plan::BssfSmart { cap: slice_cap }, bssf.rc_subset_smart(d_q)));
+                plans.push((
+                    Plan::BssfSmart { cap: slice_cap },
+                    bssf.rc_subset_smart(d_q),
+                ));
             }
             plans.push((Plan::NixPlain, nix.rc_subset(d_q)));
         }
@@ -59,7 +62,11 @@ fn main() {
     let d_t = 10;
     // A 1/8-scale paper instance.
     let p = Params::scaled(4000, 1625);
-    let cfg = WorkloadConfig { n_objects: p.n, domain: p.v, ..WorkloadConfig::paper(d_t) };
+    let cfg = WorkloadConfig {
+        n_objects: p.n,
+        domain: p.v,
+        ..WorkloadConfig::paper(d_t)
+    };
     let sets = SetGenerator::new(cfg).generate_all();
 
     let disk = Arc::new(Disk::new());
@@ -69,7 +76,12 @@ fn main() {
     let items: Vec<(Oid, Vec<ElementKey>)> = sets
         .iter()
         .enumerate()
-        .map(|(i, s)| (Oid::new(i as u64), s.iter().map(|&e| ElementKey::from(e)).collect()))
+        .map(|(i, s)| {
+            (
+                Oid::new(i as u64),
+                s.iter().map(|&e| ElementKey::from(e)).collect(),
+            )
+        })
         .collect();
     bssf.bulk_load(&items).unwrap();
     let mut nix = Nix::on_io(io(), "pl");
@@ -87,7 +99,10 @@ fn main() {
         SetQuery::in_subset(qg.random(1000).into_iter().map(ElementKey::from).collect()),
     ];
 
-    println!("planner: F = {f}, m = {m}, D_t = {d_t}, N = {}, V = {}\n", p.n, p.v);
+    println!(
+        "planner: F = {f}, m = {m}, D_t = {d_t}, N = {}, V = {}\n",
+        p.n, p.v
+    );
     for q in &workload {
         let (plan, predicted) = choose(p, f, m, d_t, q);
         let before = disk.snapshot();
@@ -103,12 +118,7 @@ fn main() {
         let filter_pages = disk.snapshot().since(before).accesses();
         // Count the resolution fetches (1 page per candidate here).
         let total = filter_pages + candidates.len() as u64;
-        println!(
-            "{} (D_q = {:>4}) → {:?}",
-            q.predicate,
-            q.d_q(),
-            plan
-        );
+        println!("{} (D_q = {:>4}) → {:?}", q.predicate, q.d_q(), plan);
         println!(
             "    predicted {predicted:>8.1} pages   measured {total:>6} pages   {} candidates",
             candidates.len()

@@ -36,11 +36,18 @@ fn main() {
 
     let actual = Signature::for_set(
         &cfg,
-        &[ElementKey::from("Baseball"), ElementKey::from("Golf"), ElementKey::from("Fishing")],
+        &[
+            ElementKey::from("Baseball"),
+            ElementKey::from("Golf"),
+            ElementKey::from("Fishing"),
+        ],
     );
     println!("\nTarget {{Baseball, Golf, Fishing}} — a true superset:");
     show("target", &actual);
-    println!("  matches: {} (actual drop)", actual.matches_superset_of(&query_sig));
+    println!(
+        "  matches: {} (actual drop)",
+        actual.matches_superset_of(&query_sig)
+    );
 
     // Hunt for a false drop: a set that matches the signature test without
     // containing the query elements. With F = 16 they are easy to find.
@@ -91,10 +98,19 @@ fn main() {
     // Index Student.hobbies with a BSSF (m = 2 — the paper's recommended
     // small weight) and Student.courses with another.
     let io = Arc::clone(db.disk()) as Arc<dyn PageIo>;
-    let hobbies_bssf = Bssf::create(Arc::clone(&io), "hobbies", SignatureConfig::new(256, 2).unwrap()).unwrap();
-    let hobbies_idx = db.register_facility(student, "hobbies", Box::new(hobbies_bssf)).unwrap();
+    let hobbies_bssf = Bssf::create(
+        Arc::clone(&io),
+        "hobbies",
+        SignatureConfig::new(256, 2).unwrap(),
+    )
+    .unwrap();
+    let hobbies_idx = db
+        .register_facility(student, "hobbies", Box::new(hobbies_bssf))
+        .unwrap();
     let courses_bssf = Bssf::create(io, "courses", SignatureConfig::new(256, 2).unwrap()).unwrap();
-    let courses_idx = db.register_facility(student, "courses", Box::new(courses_bssf)).unwrap();
+    let courses_idx = db
+        .register_facility(student, "courses", Box::new(courses_bssf))
+        .unwrap();
 
     let jeff = db
         .insert_object(
@@ -112,7 +128,11 @@ fn main() {
             vec![
                 Value::str("Ann"),
                 Value::set(vec![Value::Ref(db_theory), Value::Ref(algorithms)]),
-                Value::set(vec![Value::str("Baseball"), Value::str("Fishing"), Value::str("Tennis")]),
+                Value::set(vec![
+                    Value::str("Baseball"),
+                    Value::str("Fishing"),
+                    Value::str("Tennis"),
+                ]),
             ],
         )
         .unwrap();
@@ -128,7 +148,10 @@ fn main() {
         .unwrap();
 
     // ── 3. Query Q1: hobbies has-subset ("Baseball", "Fishing") ────────
-    let q1 = SetQuery::has_subset(vec![ElementKey::from("Baseball"), ElementKey::from("Fishing")]);
+    let q1 = SetQuery::has_subset(vec![
+        ElementKey::from("Baseball"),
+        ElementKey::from("Fishing"),
+    ]);
     let r1 = db.execute_set_query(hobbies_idx, &q1).unwrap();
     println!("\nQ1  select Student where hobbies has-subset (Baseball, Fishing)");
     for oid in &r1.actual {
@@ -191,7 +214,10 @@ fn main() {
     let r5 = db
         .run_query(r#"select Student where hobbies has-subset ("Baseball", "Fishing")"#)
         .unwrap();
-    println!("\n§2  via the SQL-like surface: {} matches", r5.actual.len());
+    println!(
+        "\n§2  via the SQL-like surface: {} matches",
+        r5.actual.len()
+    );
     assert_eq!(r5.actual, vec![jeff, ann]);
 
     let _ = bob;

@@ -23,12 +23,16 @@ fn main() {
     let student = db
         .define_class(ClassDef::new(
             "Student",
-            vec![("name", AttrType::Str), ("hobbies", AttrType::set_of(AttrType::Str))],
+            vec![
+                ("name", AttrType::Str),
+                ("hobbies", AttrType::set_of(AttrType::Str)),
+            ],
         ))
         .unwrap();
     let io = Arc::clone(db.disk()) as Arc<dyn PageIo>;
     let bssf = Bssf::create(io, "hobbies", SignatureConfig::new(256, 2).unwrap()).unwrap();
-    db.register_facility(student, "hobbies", Box::new(bssf)).unwrap();
+    db.register_facility(student, "hobbies", Box::new(bssf))
+        .unwrap();
 
     for s in university_hobbies(5000, 8, 6, 42) {
         db.insert_object(

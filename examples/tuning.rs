@@ -45,7 +45,10 @@ fn main() {
 
     // ── F sweep at the chosen m ─────────────────────────────────────────
     println!("\nStorage/retrieval trade-off over F (m = {}):", best.0);
-    println!("{:>6} {:>10} {:>14} {:>14}", "F", "SC pages", "RC ⊇ (D_q=3)", "RC ⊆ (D_q=100)");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14}",
+        "F", "SC pages", "RC ⊇ (D_q=3)", "RC ⊆ (D_q=100)"
+    );
     for f in [125u32, 250, 500, 1000, 2000] {
         let model = BssfModel::new(p, f, best.0, d_t);
         println!(
@@ -73,7 +76,12 @@ fn main() {
     let items: Vec<(Oid, Vec<ElementKey>)> = sets
         .iter()
         .enumerate()
-        .map(|(i, s)| (Oid::new(i as u64), s.iter().map(|&e| ElementKey::from(e)).collect()))
+        .map(|(i, s)| {
+            (
+                Oid::new(i as u64),
+                s.iter().map(|&e| ElementKey::from(e)).collect(),
+            )
+        })
         .collect();
     small_m.bulk_load(&items).unwrap();
     opt_m.bulk_load(&items).unwrap();
@@ -93,8 +101,14 @@ fn main() {
         "\nMeasured filter cost over {trials} random ⊇ queries (D_q = 3, N = {}):",
         cfg.n_objects
     );
-    println!("  m = 2  : {:>6.1} pages/query", pages[0] as f64 / trials as f64);
-    println!("  m = 35 : {:>6.1} pages/query  (m_opt — reads 3×35 ≈ 105 slices!)", pages[1] as f64 / trials as f64);
+    println!(
+        "  m = 2  : {:>6.1} pages/query",
+        pages[0] as f64 / trials as f64
+    );
+    println!(
+        "  m = 35 : {:>6.1} pages/query  (m_opt — reads 3×35 ≈ 105 slices!)",
+        pages[1] as f64 / trials as f64
+    );
     assert!(pages[0] < pages[1]);
     println!("\nok — small m wins, as §5.1.2 concludes.");
 

@@ -22,7 +22,10 @@ fn main() {
     let student = db
         .define_class(ClassDef::new(
             "Student",
-            vec![("name", AttrType::Str), ("hobbies", AttrType::set_of(AttrType::Str))],
+            vec![
+                ("name", AttrType::Str),
+                ("hobbies", AttrType::set_of(AttrType::Str)),
+            ],
         ))
         .unwrap();
 
@@ -44,13 +47,29 @@ fn main() {
     let bssf = Bssf::create(io(), "hob", SignatureConfig::new(128, 2).unwrap()).unwrap();
     let fssf = Fssf::create(io(), "hob", FssfConfig::new(128, 16, 2).unwrap()).unwrap();
     let nix = Nix::on_io(io(), "hob");
-    let ssf_idx = db.register_facility(student, "hobbies", Box::new(ssf)).unwrap();
-    let bssf_idx = db.register_facility(student, "hobbies", Box::new(bssf)).unwrap();
-    let fssf_idx = db.register_facility(student, "hobbies", Box::new(fssf)).unwrap();
-    let nix_idx = db.register_facility(student, "hobbies", Box::new(nix)).unwrap();
+    let ssf_idx = db
+        .register_facility(student, "hobbies", Box::new(ssf))
+        .unwrap();
+    let bssf_idx = db
+        .register_facility(student, "hobbies", Box::new(bssf))
+        .unwrap();
+    let fssf_idx = db
+        .register_facility(student, "hobbies", Box::new(fssf))
+        .unwrap();
+    let nix_idx = db
+        .register_facility(student, "hobbies", Box::new(nix))
+        .unwrap();
 
-    println!("{N} students, {} object-store pages", db.store().storage_pages().unwrap());
-    for (name, idx) in [("SSF", ssf_idx), ("BSSF", bssf_idx), ("FSSF", fssf_idx), ("NIX", nix_idx)] {
+    println!(
+        "{N} students, {} object-store pages",
+        db.store().storage_pages().unwrap()
+    );
+    for (name, idx) in [
+        ("SSF", ssf_idx),
+        ("BSSF", bssf_idx),
+        ("FSSF", fssf_idx),
+        ("NIX", nix_idx),
+    ] {
         let pages = db.facility(idx).unwrap().storage_pages().unwrap();
         println!("  {name:<5} storage: {pages} pages");
     }
@@ -58,7 +77,10 @@ fn main() {
     let queries = vec![
         (
             "hobbies has-subset (Baseball, Fishing)        [T ⊇ Q]",
-            SetQuery::has_subset(vec![ElementKey::from("Baseball"), ElementKey::from("Fishing")]),
+            SetQuery::has_subset(vec![
+                ElementKey::from("Baseball"),
+                ElementKey::from("Fishing"),
+            ]),
         ),
         (
             "hobbies has-subset (Chess, Go, Shogi)         [T ⊇ Q]",
@@ -78,7 +100,10 @@ fn main() {
         ),
         (
             "hobbies overlaps (Surfing, Sailing)           [T ∩ Q ≠ ∅]",
-            SetQuery::overlaps(vec![ElementKey::from("Surfing"), ElementKey::from("Sailing")]),
+            SetQuery::overlaps(vec![
+                ElementKey::from("Surfing"),
+                ElementKey::from("Sailing"),
+            ]),
         ),
     ];
 
@@ -86,7 +111,12 @@ fn main() {
         println!("\nselect Student where {label}");
         let scan = db.scan_set_query(student, "hobbies", &q).unwrap();
         let mut answers: Option<Vec<Oid>> = None;
-        for (name, idx) in [("SSF", ssf_idx), ("BSSF", bssf_idx), ("FSSF", fssf_idx), ("NIX", nix_idx)] {
+        for (name, idx) in [
+            ("SSF", ssf_idx),
+            ("BSSF", bssf_idx),
+            ("FSSF", fssf_idx),
+            ("NIX", nix_idx),
+        ] {
             let r = db.execute_set_query(idx, &q).unwrap();
             println!(
                 "  {name:<9} {:>5} pages  ({} candidates, {} false drops, {} answers)",

@@ -63,12 +63,12 @@ pub use setsig_workload as workload;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use setsig_core::{
-        resolve_drops, Bssf, CandidateSet, DropReport, ElementKey, Fssf, FssfConfig, Oid, SetAccessFacility,
-        SetPredicate, SetQuery, Signature, SignatureConfig, Ssf,
+        resolve_drops, Bssf, CandidateSet, DropReport, ElementKey, Fssf, FssfConfig, Oid,
+        ScanStats, SetAccessFacility, SetPredicate, SetQuery, Signature, SignatureConfig, Ssf,
     };
     pub use setsig_costmodel::{BssfModel, FssfModel, NixModel, Params, SsfModel};
     pub use setsig_nix::Nix;
     pub use setsig_oodb::{AttrType, ClassDef, Database, Value};
-    pub use setsig_pagestore::{Disk, PageIo};
+    pub use setsig_pagestore::{BufferPool, CacheStats, Disk, PageIo};
     pub use setsig_workload::{QueryGen, SetGenerator, WorkloadConfig};
 }

@@ -14,7 +14,10 @@ fn parallel_queries_agree_with_serial_answers() {
     let mut nix = Nix::on_io(io(), "n");
     let items: Vec<(Oid, Vec<ElementKey>)> = (0..1000u64)
         .map(|i| {
-            (Oid::new(i), (0..5).map(|j| ElementKey::from(i * 3 + j)).collect())
+            (
+                Oid::new(i),
+                (0..5).map(|j| ElementKey::from(i * 3 + j)).collect(),
+            )
         })
         .collect();
     bssf.bulk_load(&items).unwrap();
@@ -28,7 +31,10 @@ fn parallel_queries_agree_with_serial_answers() {
     let queries: Vec<SetQuery> = (0..16u64)
         .map(|t| SetQuery::has_subset(vec![ElementKey::from(t * 50), ElementKey::from(t * 50 + 1)]))
         .collect();
-    let expected: Vec<_> = queries.iter().map(|q| bssf.candidates(q).unwrap()).collect();
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| bssf.candidates(q).unwrap())
+        .collect();
 
     let handles: Vec<_> = queries
         .iter()
@@ -57,6 +63,116 @@ fn parallel_queries_agree_with_serial_answers() {
                 assert!(b.oids.contains(oid));
             }
         }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_serial_sets_and_counts() {
+    // The tentpole invariant, end to end: a BSSF with 8 scan workers must
+    // report byte-identical candidate sets and identical logical
+    // page-access counts to the serial engine, on every predicate shape.
+    let items: Vec<(Oid, Vec<ElementKey>)> = (0..2000u64)
+        .map(|i| {
+            (
+                Oid::new(i),
+                (0..6).map(|j| ElementKey::from(i * 5 + j)).collect(),
+            )
+        })
+        .collect();
+    let build = |threads: usize| {
+        let disk = Arc::new(Disk::new());
+        let io = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut b = Bssf::create(io, "p", SignatureConfig::new(256, 3).unwrap()).unwrap();
+        b.bulk_load(&items).unwrap();
+        b.set_parallelism(threads);
+        (disk, b)
+    };
+    let (serial_disk, serial) = build(1);
+    let (_par_disk, parallel) = build(8);
+
+    let mut queries: Vec<SetQuery> = (0..12u64)
+        .flat_map(|t| {
+            let base = t * 160;
+            vec![
+                SetQuery::has_subset(vec![
+                    ElementKey::from(base * 5),
+                    ElementKey::from(base * 5 + 1),
+                ]),
+                SetQuery::in_subset((0..8).map(|j| ElementKey::from(base * 5 + j)).collect()),
+                SetQuery::equals((0..6).map(|j| ElementKey::from(base * 5 + j)).collect()),
+                SetQuery::overlaps(vec![ElementKey::from(base * 5 + 2)]),
+            ]
+        })
+        .collect();
+    // A miss query so the superset early exit (and its speculation
+    // window) is exercised.
+    queries.push(SetQuery::has_subset(
+        (0..6)
+            .map(|j| ElementKey::from(10_000_000 + j))
+            .collect::<Vec<ElementKey>>(),
+    ));
+
+    for q in &queries {
+        serial_disk.reset_stats();
+        let cs = serial.candidates(q).unwrap();
+        let ss = serial.last_scan_stats();
+        let cp = parallel.candidates(q).unwrap();
+        let sp = parallel.last_scan_stats();
+        assert_eq!(cs, cp, "candidate sets diverged on {:?}", q.predicate);
+        assert_eq!(
+            ss.logical_pages, sp.logical_pages,
+            "logical page counts diverged on {:?}",
+            q.predicate
+        );
+        // On the serial engine the logical charge IS the disk traffic of
+        // the filtering stage (drop resolution adds OID-file reads on top).
+        assert_eq!(ss.logical_pages, ss.physical_pages);
+        assert!(serial_disk.snapshot().reads >= ss.physical_pages);
+        assert!(
+            sp.physical_pages >= sp.logical_pages,
+            "parallel physical can only overshoot"
+        );
+    }
+}
+
+#[test]
+fn parallel_engine_is_safe_under_concurrent_callers() {
+    // Queries on a parallel-engined BSSF issued from many caller threads at
+    // once: nested scoped-thread fan-out must stay correct.
+    let items: Vec<(Oid, Vec<ElementKey>)> = (0..500u64)
+        .map(|i| {
+            (
+                Oid::new(i),
+                (0..4).map(|j| ElementKey::from(i * 7 + j)).collect(),
+            )
+        })
+        .collect();
+    let disk = Arc::new(Disk::new());
+    let io = Arc::clone(&disk) as Arc<dyn PageIo>;
+    let mut bssf = Bssf::create(io, "c", SignatureConfig::new(128, 2).unwrap()).unwrap();
+    bssf.bulk_load(&items).unwrap();
+    bssf.set_parallelism(4);
+    let bssf = Arc::new(bssf);
+
+    let queries: Vec<SetQuery> = (0..8u64)
+        .map(|t| SetQuery::has_subset(vec![ElementKey::from(t * 70 * 7)]))
+        .collect();
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| bssf.candidates(q).unwrap())
+        .collect();
+    let handles: Vec<_> = queries
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, q)| {
+            let b = Arc::clone(&bssf);
+            std::thread::spawn(move || (i, b.candidates(&q).unwrap()))
+        })
+        .collect();
+    for h in handles {
+        let (i, got) = h.join().expect("no panics under concurrency");
+        assert_eq!(got, expected[i], "caller thread {i} diverged");
     }
 }
 

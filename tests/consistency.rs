@@ -25,8 +25,10 @@ fn run_database(
     let nix = Nix::on_io(io(), "x");
     let fids = [
         db.register_facility(class, "elems", Box::new(ssf)).unwrap(),
-        db.register_facility(class, "elems", Box::new(bssf)).unwrap(),
-        db.register_facility(class, "elems", Box::new(fssf)).unwrap(),
+        db.register_facility(class, "elems", Box::new(bssf))
+            .unwrap(),
+        db.register_facility(class, "elems", Box::new(fssf))
+            .unwrap(),
         db.register_facility(class, "elems", Box::new(nix)).unwrap(),
     ];
 

@@ -19,7 +19,12 @@ fn build_sets(n: u64, v: u64, d_t: u32, seed: u64) -> Vec<Vec<u64>> {
 fn as_items(sets: &[Vec<u64>]) -> Vec<(Oid, Vec<ElementKey>)> {
     sets.iter()
         .enumerate()
-        .map(|(i, s)| (Oid::new(i as u64), s.iter().map(|&e| ElementKey::from(e)).collect()))
+        .map(|(i, s)| {
+            (
+                Oid::new(i as u64),
+                s.iter().map(|&e| ElementKey::from(e)).collect(),
+            )
+        })
         .collect()
 }
 
@@ -81,7 +86,11 @@ fn ssf_scan_cost_is_sc_sig_at_paper_scale() {
     disk.reset_stats();
     // m_opt makes false drops negligible; a random 5-element query from
     // outside the domain cannot hit anything.
-    let q = SetQuery::has_subset((0..5).map(|i| ElementKey::from(1_000_000 + i as u64)).collect());
+    let q = SetQuery::has_subset(
+        (0..5)
+            .map(|i| ElementKey::from(1_000_000 + i as u64))
+            .collect(),
+    );
     let c = ssf.candidates(&q).unwrap();
     assert!(c.is_empty());
     assert_eq!(disk.snapshot().reads, 493, "full scan of SC_SIG pages");
@@ -134,6 +143,167 @@ fn nix_structure_matches_table4_regime_at_paper_scale() {
 }
 
 #[test]
+fn smart_strategies_cap_reads_and_stay_sound() {
+    // §5.1.3 / §5.2.2: the smart strategies bound the slice reads while the
+    // filter stays sound (no false negatives for a known-present target).
+    let sets = build_sets(2_000, 1_000, 10, 7);
+    let disk = Arc::new(Disk::new());
+    let io = Arc::clone(&disk) as Arc<dyn PageIo>;
+    let mut bssf = Bssf::create(io, "b", SignatureConfig::new(500, 2).unwrap()).unwrap();
+    bssf.bulk_load(&as_items(&sets)).unwrap();
+
+    // Superset smart: query = full target set (10 elements), cap at 2
+    // elements → at most 2·m = 4 slice pages instead of up to 20.
+    let target_keys: Vec<ElementKey> = sets[55].iter().map(|&e| ElementKey::from(e)).collect();
+    let q_sup = SetQuery::has_subset(target_keys.clone());
+    disk.reset_stats();
+    let c = bssf.candidates_superset_smart(&q_sup, 2).unwrap();
+    assert!(
+        c.oids.contains(&Oid::new(55)),
+        "smart ⊇ must keep the true match"
+    );
+    let scan = bssf.last_scan_stats();
+    // At most 2·m = 4 slice pages, plus the OID-file look-up pages (the
+    // whole OID file spans ⌈2000/512⌉ = 4 pages).
+    assert!(
+        scan.logical_pages <= 4 + 4,
+        "smart ⊇ charged {} pages",
+        scan.logical_pages
+    );
+    assert_eq!(scan.logical_pages, scan.physical_pages);
+    // Full strategy reads more slices and yields a subset of the smart
+    // strategy's drops (more slices ANDed → fewer candidates).
+    let full = bssf.candidates(&q_sup).unwrap();
+    assert!(bssf.last_scan_stats().logical_pages >= scan.logical_pages);
+    for oid in &full.oids {
+        assert!(c.oids.contains(oid), "smart drops must cover full drops");
+    }
+
+    // Subset smart: cap the 0-slice reads at 40 of the ~480.
+    let q_sub = SetQuery::in_subset(target_keys);
+    disk.reset_stats();
+    let c = bssf.candidates_subset_smart(&q_sub, 40).unwrap();
+    assert!(
+        c.oids.contains(&Oid::new(55)),
+        "smart ⊆ must keep the true match"
+    );
+    let scan = bssf.last_scan_stats();
+    // Exactly the 40-slice cap, plus 1–4 OID-file look-up pages.
+    assert!(
+        scan.logical_pages >= 40 && scan.logical_pages <= 40 + 4,
+        "⊆ smart charged {} pages for a 40-slice cap",
+        scan.logical_pages
+    );
+    let full = bssf.candidates(&q_sub).unwrap();
+    assert!(bssf.last_scan_stats().logical_pages >= 40);
+    for oid in &full.oids {
+        assert!(c.oids.contains(oid), "smart ⊆ drops must cover full drops");
+    }
+}
+
+#[test]
+fn smart_strategies_are_identical_under_parallel_engine() {
+    let sets = build_sets(1_500, 800, 10, 8);
+    let build = |threads: usize| {
+        let disk = Arc::new(Disk::new());
+        let io = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut b = Bssf::create(io, "b", SignatureConfig::new(250, 2).unwrap()).unwrap();
+        b.bulk_load(&as_items(&sets)).unwrap();
+        b.set_parallelism(threads);
+        b
+    };
+    let serial = build(1);
+    let parallel = build(8);
+    for t in [3usize, 77, 501] {
+        let target: Vec<ElementKey> = sets[t].iter().map(|&e| ElementKey::from(e)).collect();
+        let q_sup = SetQuery::has_subset(target.clone());
+        assert_eq!(
+            serial.candidates_superset_smart(&q_sup, 3).unwrap(),
+            parallel.candidates_superset_smart(&q_sup, 3).unwrap()
+        );
+        assert_eq!(
+            serial.last_scan_stats().logical_pages,
+            parallel.last_scan_stats().logical_pages
+        );
+        let q_sub = SetQuery::in_subset(target);
+        assert_eq!(
+            serial.candidates_subset_smart(&q_sub, 30).unwrap(),
+            parallel.candidates_subset_smart(&q_sub, 30).unwrap()
+        );
+        assert_eq!(
+            serial.last_scan_stats().logical_pages,
+            parallel.last_scan_stats().logical_pages
+        );
+    }
+}
+
+#[test]
+fn cached_engine_serves_hot_slices_without_disk_reads() {
+    // Routing slice reads through the buffer pool: the second identical
+    // query finds every slice page resident — pool hits, zero disk reads —
+    // while the logical page charge stays exactly the serial protocol's.
+    let sets = build_sets(2_000, 1_000, 10, 9);
+    let disk = Arc::new(Disk::new());
+    let mut bssf = Bssf::create_cached(
+        Arc::clone(&disk),
+        "b",
+        SignatureConfig::new(250, 2).unwrap(),
+        512,
+    )
+    .unwrap();
+    bssf.bulk_load(&as_items(&sets)).unwrap();
+    // The write-through load installed every page; start from a cold pool.
+    bssf.buffer_pool().unwrap().clear();
+
+    let q = SetQuery::has_subset(vec![ElementKey::from(7u64), ElementKey::from(423u64)]);
+    let first = bssf.candidates(&q).unwrap();
+    let first_scan = bssf.last_scan_stats();
+    let cold = bssf.cache_stats().unwrap();
+    assert!(cold.misses > 0, "cold scan must reach the disk");
+
+    disk.reset_stats();
+    let second = bssf.candidates(&q).unwrap();
+    let second_scan = bssf.last_scan_stats();
+    let hot = bssf.cache_stats().unwrap();
+
+    assert_eq!(first, second, "cache must not change answers");
+    assert_eq!(
+        first_scan, second_scan,
+        "logical accounting is cache-independent"
+    );
+    assert_eq!(
+        disk.snapshot().reads,
+        0,
+        "hot query must be served from the pool"
+    );
+    assert!(hot.hits > cold.hits, "second query must hit the pool");
+
+    // Same story for the SSF full scan.
+    let disk2 = Arc::new(Disk::new());
+    let mut ssf = Ssf::create_cached(
+        Arc::clone(&disk2),
+        "s",
+        SignatureConfig::new(500, 2).unwrap(),
+        128,
+    )
+    .unwrap();
+    for (oid, set) in as_items(&sets[..500]) {
+        ssf.insert(oid, &set).unwrap();
+    }
+    let q = SetQuery::has_subset(vec![ElementKey::from(11u64)]);
+    let first = ssf.candidates(&q).unwrap();
+    disk2.reset_stats();
+    let second = ssf.candidates(&q).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(
+        disk2.snapshot().reads,
+        0,
+        "hot SSF scan must be pool-resident"
+    );
+    assert!(ssf.cache_stats().unwrap().hits > 0);
+}
+
+#[test]
 fn measured_superset_rc_tracks_model_at_reduced_scale() {
     // Whole-pipeline fidelity: measured RC within 2× of the model's
     // prediction across D_q (model and instance at the same 1/8 scale).
@@ -150,7 +320,8 @@ fn measured_superset_rc_tracks_model_at_reduced_scale() {
         let trials = 8;
         let mut measured = 0u64;
         for _ in 0..trials {
-            let q = SetQuery::has_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect());
+            let q =
+                SetQuery::has_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect());
             disk.reset_stats();
             let c = bssf.candidates(&q).unwrap();
             // + one object fetch per candidate (P_p = P_s = 1).

@@ -1,0 +1,138 @@
+//! Differential test harness: on random workloads, every facility's
+//! filtering stage is checked against ground truth computed directly from
+//! the sets, and the parallel BSSF/SSF engines are checked against their
+//! serial twins — identical candidate sets AND identical logical page
+//! counts (the tentpole invariant).
+
+use proptest::prelude::*;
+use setsig::nix::Nix;
+use setsig::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Ground truth for `T ⊇ Q`: positions whose set contains every query
+/// element.
+fn truth_superset(sets: &[Vec<u64>], q: &[u64]) -> BTreeSet<u64> {
+    sets.iter()
+        .enumerate()
+        .filter(|(_, s)| q.iter().all(|e| s.contains(e)))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+/// Ground truth for `T ⊆ Q`: positions whose set is contained in the query.
+fn truth_subset(sets: &[Vec<u64>], q: &[u64]) -> BTreeSet<u64> {
+    sets.iter()
+        .enumerate()
+        .filter(|(_, s)| s.iter().all(|e| q.contains(e)))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+fn keys(elems: &[u64]) -> Vec<ElementKey> {
+    elems.iter().map(|&e| ElementKey::from(e)).collect()
+}
+
+fn oid_set(c: &CandidateSet) -> BTreeSet<u64> {
+    c.oids.iter().map(|o| o.raw()).collect()
+}
+
+fn run_workload(sets: &[Vec<u64>], queries: &[(bool, Vec<u64>)]) -> Result<(), TestCaseError> {
+    let cfg = || SignatureConfig::new(64, 2).unwrap();
+    let build_io = || {
+        let disk = Arc::new(Disk::new());
+        Arc::clone(&disk) as Arc<dyn PageIo>
+    };
+    let items: Vec<(Oid, Vec<ElementKey>)> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (Oid::new(i as u64), keys(s)))
+        .collect();
+
+    let mut ssf = Ssf::create(build_io(), "d", cfg()).unwrap();
+    let mut ssf_par = Ssf::create(build_io(), "d", cfg()).unwrap();
+    ssf_par.set_parallelism(4);
+    let mut nix = Nix::on_io(build_io(), "d");
+    for (oid, set) in &items {
+        ssf.insert(*oid, set).unwrap();
+        ssf_par.insert(*oid, set).unwrap();
+        nix.insert(*oid, set).unwrap();
+    }
+    let mut bssf = Bssf::create(build_io(), "d", cfg()).unwrap();
+    let mut bssf_par = Bssf::create(build_io(), "d", cfg()).unwrap();
+    bssf_par.set_parallelism(4);
+    bssf.bulk_load(&items).unwrap();
+    bssf_par.bulk_load(&items).unwrap();
+
+    for (is_superset, elems) in queries {
+        let q = if *is_superset {
+            SetQuery::has_subset(keys(elems))
+        } else {
+            SetQuery::in_subset(keys(elems))
+        };
+        let truth = if *is_superset {
+            truth_superset(sets, elems)
+        } else {
+            truth_subset(sets, elems)
+        };
+
+        let s = ssf.candidates(&q).unwrap();
+        let b = bssf.candidates(&q).unwrap();
+        let n = nix.candidates(&q).unwrap();
+
+        // No false negatives, ever: the signature filters must drop a
+        // superset of the truth.
+        for facility in [&s, &b] {
+            let got = oid_set(facility);
+            prop_assert!(
+                truth.is_subset(&got),
+                "false negative: predicate ⊇={} query {:?} truth {:?} got {:?}",
+                is_superset,
+                elems,
+                truth,
+                got
+            );
+        }
+        if *is_superset {
+            // NIX answers T ⊇ Q exactly via OID-list intersection.
+            prop_assert!(n.exact);
+            prop_assert_eq!(oid_set(&n), truth.clone(), "NIX must be exact on ⊇");
+        } else {
+            prop_assert!(truth.is_subset(&oid_set(&n)), "NIX ⊆ must not lose answers");
+        }
+
+        // The parallel engines must be *identical* to their serial twins:
+        // same candidates, same logical page charge.
+        let sp = ssf_par.candidates(&q).unwrap();
+        prop_assert_eq!(&s, &sp, "parallel SSF diverged");
+        prop_assert_eq!(ssf.last_scan_stats(), ssf_par.last_scan_stats());
+        let bp = bssf_par.candidates(&q).unwrap();
+        prop_assert_eq!(&b, &bp, "parallel BSSF diverged");
+        prop_assert_eq!(
+            bssf.last_scan_stats().logical_pages,
+            bssf_par.last_scan_stats().logical_pages,
+            "parallel BSSF charged different logical pages"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn facilities_agree_on_random_workloads(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..50, 1..7)
+                .prop_map(|s| s.into_iter().collect::<Vec<u64>>()),
+            1..40,
+        ),
+        queries in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::btree_set(0u64..50, 1..7)
+                .prop_map(|s| s.into_iter().collect::<Vec<u64>>())),
+            1..5,
+        ),
+    ) {
+        run_workload(&sets, &queries)?;
+    }
+}

@@ -10,7 +10,10 @@ fn hobby_db() -> (Database, setsig::oodb::ClassId) {
     let student = db
         .define_class(ClassDef::new(
             "Student",
-            vec![("name", AttrType::Str), ("hobbies", AttrType::set_of(AttrType::Str))],
+            vec![
+                ("name", AttrType::Str),
+                ("hobbies", AttrType::set_of(AttrType::Str)),
+            ],
         ))
         .unwrap();
     (db, student)
@@ -23,17 +26,29 @@ fn register_all(db: &mut Database, class: setsig::oodb::ClassId) -> [usize; 4] {
     let fssf = Fssf::create(io(), "h", FssfConfig::new(128, 16, 2).unwrap()).unwrap();
     let nix = Nix::on_io(io(), "h");
     [
-        db.register_facility(class, "hobbies", Box::new(ssf)).unwrap(),
-        db.register_facility(class, "hobbies", Box::new(bssf)).unwrap(),
-        db.register_facility(class, "hobbies", Box::new(fssf)).unwrap(),
-        db.register_facility(class, "hobbies", Box::new(nix)).unwrap(),
+        db.register_facility(class, "hobbies", Box::new(ssf))
+            .unwrap(),
+        db.register_facility(class, "hobbies", Box::new(bssf))
+            .unwrap(),
+        db.register_facility(class, "hobbies", Box::new(fssf))
+            .unwrap(),
+        db.register_facility(class, "hobbies", Box::new(nix))
+            .unwrap(),
     ]
 }
 
-fn insert_student(db: &mut Database, class: setsig::oodb::ClassId, name: &str, hobbies: &[&str]) -> Oid {
+fn insert_student(
+    db: &mut Database,
+    class: setsig::oodb::ClassId,
+    name: &str,
+    hobbies: &[&str],
+) -> Oid {
     db.insert_object(
         class,
-        vec![Value::str(name), Value::set(hobbies.iter().map(|h| Value::str(h)).collect())],
+        vec![
+            Value::str(name),
+            Value::set(hobbies.iter().map(|h| Value::str(h)).collect()),
+        ],
     )
     .unwrap()
 }
@@ -56,14 +71,20 @@ fn all_predicates_agree_across_facilities_and_scan() {
     }
 
     let queries = vec![
-        SetQuery::has_subset(vec![ElementKey::from("Baseball"), ElementKey::from("Fishing")]),
+        SetQuery::has_subset(vec![
+            ElementKey::from("Baseball"),
+            ElementKey::from("Fishing"),
+        ]),
         SetQuery::has_subset(vec![ElementKey::from("Chess")]),
         SetQuery::in_subset(vec![
             ElementKey::from("Baseball"),
             ElementKey::from("Fishing"),
             ElementKey::from("Tennis"),
         ]),
-        SetQuery::equals(vec![ElementKey::from("Baseball"), ElementKey::from("Fishing")]),
+        SetQuery::equals(vec![
+            ElementKey::from("Baseball"),
+            ElementKey::from("Fishing"),
+        ]),
         SetQuery::overlaps(vec![ElementKey::from("Golf"), ElementKey::from("Tennis")]),
         SetQuery::contains(ElementKey::from("Fishing")),
         // Degenerate: empty ⊆ query matches only empty sets (none here).
@@ -74,7 +95,8 @@ fn all_predicates_agree_across_facilities_and_scan() {
         for &idx in &facilities {
             let r = db.execute_set_query(idx, q).unwrap();
             assert_eq!(
-                r.actual, scan.actual,
+                r.actual,
+                scan.actual,
                 "facility {} disagrees with scan on {}",
                 db.facility(idx).unwrap().name(),
                 q.predicate
@@ -131,7 +153,9 @@ fn facility_costs_scale_as_the_paper_predicts() {
     }
 
     let q_sub = SetQuery::in_subset(
-        (0..10).map(|i| ElementKey::from(hobby(i).as_str())).collect(),
+        (0..10)
+            .map(|i| ElementKey::from(hobby(i).as_str()))
+            .collect(),
     );
     let bssf = db.execute_set_query(facilities[1], &q_sub).unwrap();
     let nix = db.execute_set_query(facilities[3], &q_sub).unwrap();
@@ -150,24 +174,35 @@ fn mixed_classes_do_not_leak_between_facilities() {
     let student = db
         .define_class(ClassDef::new(
             "Student",
-            vec![("name", AttrType::Str), ("hobbies", AttrType::set_of(AttrType::Str))],
+            vec![
+                ("name", AttrType::Str),
+                ("hobbies", AttrType::set_of(AttrType::Str)),
+            ],
         ))
         .unwrap();
     let club = db
         .define_class(ClassDef::new(
             "Club",
-            vec![("name", AttrType::Str), ("hobbies", AttrType::set_of(AttrType::Str))],
+            vec![
+                ("name", AttrType::Str),
+                ("hobbies", AttrType::set_of(AttrType::Str)),
+            ],
         ))
         .unwrap();
     let io = Arc::clone(db.disk()) as Arc<dyn PageIo>;
     let bssf = Bssf::create(io, "student-hobbies", SignatureConfig::new(128, 2).unwrap()).unwrap();
-    let idx = db.register_facility(student, "hobbies", Box::new(bssf)).unwrap();
+    let idx = db
+        .register_facility(student, "hobbies", Box::new(bssf))
+        .unwrap();
 
     let s = insert_student(&mut db, student, "Jeff", &["Baseball"]);
     // Same attribute name on a different, unindexed class.
     db.insert_object(
         club,
-        vec![Value::str("Baseball Club"), Value::set(vec![Value::str("Baseball")])],
+        vec![
+            Value::str("Baseball Club"),
+            Value::set(vec![Value::str("Baseball")]),
+        ],
     )
     .unwrap();
 

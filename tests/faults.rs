@@ -23,7 +23,10 @@ fn setup() -> (Arc<Disk>, Ssf, Bssf, Nix) {
 #[test]
 fn queries_fail_cleanly_mid_read_and_recover() {
     let (disk, ssf, bssf, nix) = setup();
-    let q = SetQuery::has_subset(vec![ElementKey::from(7u64 * 7), ElementKey::from(7u64 * 7 + 1)]);
+    let q = SetQuery::has_subset(vec![
+        ElementKey::from(7u64 * 7),
+        ElementKey::from(7u64 * 7 + 1),
+    ]);
 
     // Fail immediately: every facility reports an error, no panic.
     disk.inject_fault_after(0);
@@ -72,8 +75,11 @@ fn database_layer_propagates_faults() {
     let bssf = Bssf::create(io, "x", SignatureConfig::new(64, 2).unwrap()).unwrap();
     let idx = db.register_facility(class, "xs", Box::new(bssf)).unwrap();
     for i in 0..50i64 {
-        db.insert_object(class, vec![Value::set(vec![Value::Int(i), Value::Int(i + 1)])])
-            .unwrap();
+        db.insert_object(
+            class,
+            vec![Value::set(vec![Value::Int(i), Value::Int(i + 1)])],
+        )
+        .unwrap();
     }
     let q = SetQuery::has_subset(vec![ElementKey::from(25u64)]);
     // Fault during drop resolution (object fetches happen after the slice

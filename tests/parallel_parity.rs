@@ -1,0 +1,229 @@
+//! Serial/parallel engine parity across the paper's figure workloads.
+//!
+//! For every BSSF configuration exercised by the fig4–fig10 exhibits
+//! (plain ⊇, plain ⊆, and the §5.1.3/§5.2.2 smart strategies, at each
+//! figure's F/m/d_t), the parallel engine must report **identical
+//! candidate sets and identical logical page-access counts** to the serial
+//! engine. Instances run at 1/16 of the paper's scale so the whole grid
+//! stays fast; the engine code paths are scale-independent.
+
+use setsig::prelude::*;
+use setsig_experiments::{EngineConfig, SimDb};
+use setsig_workload::{Cardinality, Distribution, WorkloadConfig};
+
+const SCALE: u64 = 16;
+
+fn workload(d_t: u32) -> WorkloadConfig {
+    // Mirrors the exhibits' workload(): paper N and V scaled down, same
+    // seed layout so instances resemble the published runs.
+    WorkloadConfig {
+        n_objects: 32_000 / SCALE,
+        domain: 13_000 / SCALE,
+        cardinality: Cardinality::Fixed(d_t),
+        distribution: Distribution::Uniform,
+        seed: 0x1993_5160 + d_t as u64,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Strategy {
+    Superset,
+    Subset,
+    SmartSuperset(usize),
+    SmartSubset(usize),
+}
+
+fn assert_parity(sim: &SimDb, f: u32, m: u32, strategy: Strategy, d_qs: &[u32], tag: &str) {
+    let serial = sim.build_bssf_with(f, m, EngineConfig::serial());
+    let parallel = sim.build_bssf_with(
+        f,
+        m,
+        EngineConfig {
+            threads: 8,
+            pool_pages: None,
+        },
+    );
+    let mut qg = sim.query_gen(0xF16 + f as u64 + m as u64);
+    for &d_q in d_qs {
+        for trial in 0..3 {
+            let keys: Vec<ElementKey> = qg.random(d_q).into_iter().map(ElementKey::from).collect();
+            let (cs, cp) = match strategy {
+                Strategy::Superset => {
+                    let q = SetQuery::has_subset(keys);
+                    (
+                        serial.candidates(&q).unwrap(),
+                        parallel.candidates(&q).unwrap(),
+                    )
+                }
+                Strategy::Subset => {
+                    let q = SetQuery::in_subset(keys);
+                    (
+                        serial.candidates(&q).unwrap(),
+                        parallel.candidates(&q).unwrap(),
+                    )
+                }
+                Strategy::SmartSuperset(cap) => {
+                    let q = SetQuery::has_subset(keys);
+                    (
+                        serial.candidates_superset_smart(&q, cap).unwrap(),
+                        parallel.candidates_superset_smart(&q, cap).unwrap(),
+                    )
+                }
+                Strategy::SmartSubset(cap) => {
+                    let q = SetQuery::in_subset(keys);
+                    (
+                        serial.candidates_subset_smart(&q, cap).unwrap(),
+                        parallel.candidates_subset_smart(&q, cap).unwrap(),
+                    )
+                }
+            };
+            let ss = serial.last_scan_stats();
+            let sp = parallel.last_scan_stats();
+            assert_eq!(
+                cs, cp,
+                "{tag}: candidates diverged (D_q={d_q}, trial {trial})"
+            );
+            assert_eq!(
+                ss.logical_pages, sp.logical_pages,
+                "{tag}: logical pages diverged (D_q={d_q}, trial {trial})"
+            );
+            assert_eq!(
+                ss.logical_pages, ss.physical_pages,
+                "{tag}: serial must not speculate"
+            );
+            assert!(
+                sp.physical_pages >= sp.logical_pages,
+                "{tag}: physical < logical"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_and_fig5_superset_configs_are_parity_clean() {
+    let sim = SimDb::build(workload(10));
+    // fig4: the two (F, m_opt) designs, ⊇ over growing D_q.
+    assert_parity(
+        &sim,
+        250,
+        17,
+        Strategy::Superset,
+        &[1, 2, 5, 10],
+        "fig4 F=250",
+    );
+    assert_parity(
+        &sim,
+        500,
+        35,
+        Strategy::Superset,
+        &[1, 2, 5, 10],
+        "fig4 F=500",
+    );
+    // fig5: F = 500 with small m.
+    for m in 1..=4 {
+        assert_parity(&sim, 500, m, Strategy::Superset, &[2, 6], "fig5");
+    }
+}
+
+#[test]
+fn fig6_and_fig7_smart_superset_configs_are_parity_clean() {
+    let sim10 = SimDb::build(workload(10));
+    assert_parity(
+        &sim10,
+        250,
+        2,
+        Strategy::SmartSuperset(2),
+        &[2, 5, 10],
+        "fig6 F=250",
+    );
+    assert_parity(
+        &sim10,
+        500,
+        2,
+        Strategy::SmartSuperset(2),
+        &[2, 5, 10],
+        "fig6 F=500",
+    );
+    let sim100 = SimDb::build(workload(100));
+    assert_parity(
+        &sim100,
+        1000,
+        3,
+        Strategy::SmartSuperset(3),
+        &[5, 20],
+        "fig7 F=1000",
+    );
+    assert_parity(
+        &sim100,
+        2500,
+        3,
+        Strategy::SmartSuperset(3),
+        &[5, 20],
+        "fig7 F=2500",
+    );
+}
+
+#[test]
+fn fig8_subset_configs_are_parity_clean() {
+    let sim = SimDb::build(workload(10));
+    assert_parity(&sim, 500, 2, Strategy::Subset, &[10, 50, 200], "fig8 BSSF");
+    // fig8 also plots SSF; the SSF parallel scan must be byte-identical
+    // too.
+    let serial = sim.build_ssf_with(500, 2, EngineConfig::serial());
+    let parallel = sim.build_ssf_with(
+        500,
+        2,
+        EngineConfig {
+            threads: 8,
+            pool_pages: None,
+        },
+    );
+    let mut qg = sim.query_gen(0xF8);
+    for d_q in [10u32, 50, 200] {
+        let q = SetQuery::in_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect());
+        assert_eq!(
+            serial.candidates(&q).unwrap(),
+            parallel.candidates(&q).unwrap(),
+            "fig8 SSF: candidates diverged (D_q={d_q})"
+        );
+        assert_eq!(serial.last_scan_stats(), parallel.last_scan_stats());
+    }
+}
+
+#[test]
+fn fig9_and_fig10_smart_subset_configs_are_parity_clean() {
+    let sim10 = SimDb::build(workload(10));
+    assert_parity(
+        &sim10,
+        250,
+        2,
+        Strategy::SmartSubset(100),
+        &[10, 50],
+        "fig9 F=250",
+    );
+    assert_parity(
+        &sim10,
+        500,
+        2,
+        Strategy::SmartSubset(150),
+        &[10, 50],
+        "fig9 F=500",
+    );
+    let sim100 = SimDb::build(workload(100));
+    assert_parity(
+        &sim100,
+        1000,
+        3,
+        Strategy::SmartSubset(200),
+        &[20],
+        "fig10 F=1000",
+    );
+    assert_parity(
+        &sim100,
+        2500,
+        3,
+        Strategy::SmartSubset(300),
+        &[20],
+        "fig10 F=2500",
+    );
+}

@@ -1,0 +1,863 @@
+//! A minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `proptest` to this implementation. It provides deterministic
+//! random-input property testing with the surface the workspace uses:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`arbitrary::any`], char-class regex strings (`"[a-z]{0,12}"`), and
+//!   [`collection`]'s `vec` / `btree_set`;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros;
+//! * [`test_runner::TestCaseError`] and [`test_runner::ProptestConfig`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the `Debug` rendering of its inputs and its case seed. Generation
+//! is deterministic per (test name, case index), so failures reproduce
+//! exactly on re-run.
+
+#![warn(missing_docs)]
+
+/// Deterministic test-case generation machinery.
+pub mod test_runner {
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The input was rejected (e.g. by a filter); not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An input rejection with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "assertion failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// The deterministic generator handed to strategies.
+    ///
+    /// SplitMix64 over a seed derived from the test name and case index:
+    /// ample quality for input generation, and every case reproduces from
+    /// its printed seed.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the generator for one test case.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Derives the per-case seed for `test_name` at `case`.
+        pub fn case_seed(test_name: &str, case: u64) -> u64 {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// The next 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (bound as u128);
+                let lo = m as u64;
+                if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// This stand-in generates plain values (no shrink trees); all
+    /// combinators the workspace uses are provided as defaulted methods.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: std::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind an `Arc`, making it cheaply
+        /// cloneable.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Builds a recursive strategy: values are drawn either from
+        /// `self` (the leaf strategy) or from `recurse` applied to the
+        /// strategy built so far, nesting at most `depth` levels.
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // At each level, bias toward leaves so sizes stay bounded.
+                strat = Union::new_weighted(vec![(2, leaf.clone()), (1, recurse(strat).boxed())])
+                    .boxed();
+            }
+            strat
+        }
+    }
+
+    /// A cheaply cloneable, type-erased [`Strategy`].
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy(..)")
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A weighted choice among strategies of a common value type — the
+    /// engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+                total_weight: self.total_weight,
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> Union<T> {
+        /// Builds the union from `(weight, strategy)` options. Panics if
+        /// empty or all-zero-weighted.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight: u64 = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "Union needs at least one positive weight");
+            Union {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.new_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("pick < total_weight by construction")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.abs_diff(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi.abs_diff(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+}
+
+/// `any::<T>()` — default strategies per type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical default strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`, mirroring `proptest::arbitrary::any`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix extreme values in: plain uniform draws almost
+                    // never produce the boundary cases codecs care about.
+                    match rng.below(16) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// A range of collection sizes. Built from `usize` (exact) or
+    /// `Range<usize>` (half-open, as in real proptest).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.hi_exclusive - self.lo) as u64;
+            self.lo + rng.below(span) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with sizes in `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` strategy, mirroring `proptest::collection::btree_set`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + std::fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set; retry a bounded number of
+            // times so a small element domain can't loop forever.
+            let mut budget = 16 * (n + 1);
+            while set.len() < n && budget > 0 {
+                set.insert(self.element.new_value(rng));
+                budget -= 1;
+            }
+            set
+        }
+    }
+}
+
+/// Char-class regex string strategies (`"[a-z0-9]{0,12}"`).
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy behind `impl Strategy for &str`: a subset of regex
+    /// supporting a literal prefix plus one `[class]{lo,hi}` /
+    /// `[class]*` / `[class]+` production — the shapes used in this
+    /// workspace's tests.
+    #[derive(Debug, Clone)]
+    pub struct RegexString {
+        literal: String,
+        class: Vec<char>,
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl RegexString {
+        /// Parses `pattern`, panicking on anything outside the supported
+        /// subset (a wrong strategy is worse than a loud failure).
+        pub fn parse(pattern: &str) -> Self {
+            let mut chars = pattern.chars().peekable();
+            let mut literal = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == '[' {
+                    break;
+                }
+                assert!(
+                    !['(', ')', '|', '.', '*', '+', '?', '{'].contains(&c),
+                    "unsupported regex construct {c:?} in {pattern:?}"
+                );
+                literal.push(c);
+                chars.next();
+            }
+            if chars.peek().is_none() {
+                return RegexString {
+                    literal,
+                    class: Vec::new(),
+                    lo: 0,
+                    hi_inclusive: 0,
+                };
+            }
+            chars.next(); // consume '['
+            let mut class = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                let c = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                match c {
+                    ']' => break,
+                    '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                        let start = prev.unwrap();
+                        let end = chars.next().unwrap();
+                        assert!(start <= end, "bad range {start}-{end} in {pattern:?}");
+                        for r in (start as u32 + 1)..=(end as u32) {
+                            class.push(char::from_u32(r).unwrap());
+                        }
+                        prev = None;
+                    }
+                    c => {
+                        class.push(c);
+                        prev = Some(c);
+                    }
+                }
+            }
+            assert!(!class.is_empty(), "empty class in {pattern:?}");
+            let (lo, hi) = match chars.next() {
+                None => (1, 1),
+                Some('*') => (0, 8),
+                Some('+') => (1, 8),
+                Some('{') => {
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad repeat lower bound"),
+                            b.trim().parse().expect("bad repeat upper bound"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some(c) => panic!("unsupported trailing {c:?} in {pattern:?}"),
+            };
+            assert!(
+                chars.next().is_none(),
+                "unsupported trailing content after repetition in {pattern:?}"
+            );
+            RegexString {
+                literal,
+                class,
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    impl Strategy for RegexString {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut out = self.literal.clone();
+            if !self.class.is_empty() {
+                let n = self.lo + rng.below((self.hi_inclusive - self.lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(self.class[rng.below(self.class.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            RegexString::parse(self).new_value(rng)
+        }
+    }
+}
+
+/// The glob import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, returning
+/// [`TestCaseError::Fail`](test_runner::TestCaseError) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} == {} failed: {:?} vs {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} ({:?} vs {:?})",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{} != {} failed: both {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{} (both {:?})", format!($($fmt)*), l);
+    }};
+}
+
+/// Weighted or unweighted choice among strategies of one value type,
+/// mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// running `ProptestConfig::cases` deterministic cases. The body may use
+/// `?` and the `prop_assert*` family; a failing case panics with the
+/// inputs' `Debug` rendering and the case seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases as u64 {
+                let seed = $crate::test_runner::TestRng::case_seed(test_name, case);
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                let values = (
+                    $($crate::strategy::Strategy::new_value(&{ $strat }, &mut rng),)+
+                );
+                let rendered = format!("{:?}", values);
+                let ($($arg,)+) = values;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(e) => panic!(
+                        "proptest {test_name} failed at case {case} (seed {seed:#x}): {e}\n\
+                         inputs ({inputs}): {rendered}",
+                        inputs = stringify!($($arg),+),
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ranges_tuples_and_collections_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = crate::collection::vec((0u64..50, 1usize..4), 2..10);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 50 && (1..4).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_min_size_when_feasible() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = crate::collection::btree_set(0u64..50, 1..6);
+        for _ in 0..200 {
+            let s: BTreeSet<u64> = strat.new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() < 6);
+        }
+    }
+
+    #[test]
+    fn union_weights_bias_choice() {
+        let strat = prop_oneof![4 => 0u32..1, 1 => 1u32..2];
+        let mut rng = TestRng::from_seed(3);
+        let zeros = (0..1000).filter(|_| strat.new_value(&mut rng) == 0).count();
+        assert!(zeros > 650 && zeros < 950, "zeros = {zeros}");
+    }
+
+    #[test]
+    fn regex_subset_strings() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = "[a-c0-1 ]{0,12}";
+        for _ in 0..200 {
+            let s = Strategy::new_value(&strat, &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| "abc01 ".contains(c)), "{s:?}");
+        }
+        let lit = Strategy::new_value(&"abc", &mut rng);
+        assert_eq!(lit, "abc");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum V {
+            Leaf(i64),
+            Node(Vec<V>),
+        }
+        fn depth(v: &V) -> usize {
+            match v {
+                V::Leaf(_) => 1,
+                V::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<i64>()
+            .prop_map(V::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(V::Node)
+            });
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            assert!(depth(&strat.new_value(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_checks(
+            mut xs in crate::collection::vec(0u64..100, 1..10),
+            y in any::<bool>(),
+        ) {
+            xs.push(if y { 1 } else { 0 });
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(xs.last().copied().unwrap() <= 100, true);
+            prop_assert_ne!(xs.len(), 0);
+            helper(&xs)?;
+        }
+    }
+
+    fn helper(xs: &[u64]) -> Result<(), TestCaseError> {
+        prop_assert!(xs.iter().all(|&x| x <= 100));
+        Ok(())
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x = {}", x);
+            }
+        }
+        inner();
+    }
+}
