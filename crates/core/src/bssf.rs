@@ -250,7 +250,7 @@ impl Bssf {
             // at byte p·PAGE_SIZE of the row buffer — a straight copy.
             let start = p as usize * PAGE_SIZE;
             let take = (nbytes - start).min(PAGE_SIZE);
-            slice.io().read_page(slice.id(), p).map(|page| {
+            slice.read(p).map(|page| {
                 buf[start..start + take].copy_from_slice(&page.as_bytes()[..take]);
             })?;
         }
@@ -320,6 +320,13 @@ impl Bssf {
             committed: usize,
             stop: bool,
         }
+        // Lock discipline: `shared` is the pipeline's only lock, and every
+        // I/O call (`read_slice_bytes`, which takes the pool and/or disk
+        // mutexes) happens with it RELEASED — workers claim an index under
+        // the lock, drop it, fetch, then re-lock to publish. The engine
+        // lock therefore never nests around the storage locks. std::sync
+        // (not parking_lot) because the pipeline needs a Condvar; the
+        // poisoning unwraps are justified in xtask's panics.allow.
         let shared = Mutex::new(Shared {
             fetched: (0..ones.len()).map(|_| None).collect(),
             next: 0,

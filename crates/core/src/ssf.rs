@@ -238,6 +238,11 @@ impl Ssf {
         /// A worker's `(page, hits)` lists plus its page count.
         type WorkerScan = Result<(Vec<(u32, Vec<u64>)>, u64)>;
         let threads = self.threads.min(npages as usize);
+        // Lock-free work claim: workers race on one atomic page cursor and
+        // hold no lock while scanning, so the storage locks (pool, disk)
+        // are the only ones taken and never nest. `join().expect` re-raises
+        // a worker panic on the coordinator rather than returning a scan
+        // missing that worker's pages.
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| -> Result<Vec<u64>> {
             let handles: Vec<_> = (0..threads)

@@ -180,7 +180,7 @@ pub fn advise(params: Params, profile: &WorkloadProfile) -> Recommendation {
             "no organization fits {budget} pages"
         );
     }
-    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
     let best = candidates[0];
     Recommendation {
         organization: best.0,

@@ -71,12 +71,8 @@ impl BssfModel {
     /// look-ups).
     pub fn best_superset_cap(&self, d_q_max: u32) -> u32 {
         (1..=d_q_max.max(1))
-            .min_by(|&a, &b| {
-                self.rc_superset(a)
-                    .partial_cmp(&self.rc_superset(b))
-                    .unwrap()
-            })
-            .unwrap()
+            .min_by(|&a, &b| self.rc_superset(a).total_cmp(&self.rc_superset(b)))
+            .unwrap_or(1)
     }
 
     /// Appendix C: the query cardinality `D_q^opt` minimizing `rc_subset`.

@@ -18,6 +18,7 @@
 //!
 //! CSV copies of every exhibit land in `results/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exhibits;

@@ -71,20 +71,45 @@ impl EngineConfig {
     /// Reads `SETSIG_THREADS` (scan worker count, default 1) and
     /// `SETSIG_POOL_PAGES` (buffer-pool frames, default none) so any
     /// exhibit binary can flip engines without a rebuild.
+    ///
+    /// Panics on an invalid value. A knob that silently fell back to the
+    /// serial default would let a typo masquerade as an 8-thread
+    /// measurement, which is exactly the kind of quiet corruption the
+    /// harness must fail loudly on instead.
     pub fn from_env() -> Self {
-        let threads = std::env::var("SETSIG_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or(1);
-        let pool_pages = std::env::var("SETSIG_POOL_PAGES")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&p| p > 0);
-        EngineConfig {
-            threads,
-            pool_pages,
+        match Self::from_lookup(|k| std::env::var(k).ok()) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// The parsing core behind [`from_env`](Self::from_env), taking the
+    /// environment as a lookup function so tests can exercise every
+    /// malformed input without mutating process-global state.
+    ///
+    /// Rules: an unset or empty/whitespace variable means "default";
+    /// anything else must parse as an integer ≥ 1 (zero threads cannot
+    /// scan, and a zero-frame pool is spelled by unsetting the variable).
+    /// Surrounding whitespace is tolerated. There is no upper clamp:
+    /// oversubscribed thread counts are legal, and the engines already cap
+    /// workers at the number of pages/slices to scan.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Result<Self, String> {
+        fn knob(name: &str, val: Option<String>) -> Result<Option<usize>, String> {
+            let Some(v) = val.filter(|v| !v.trim().is_empty()) else {
+                return Ok(None);
+            };
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(format!(
+                    "{name} must be an integer >= 1, got {v:?} \
+                     (unset it for the default)"
+                )),
+            }
+        }
+        Ok(EngineConfig {
+            threads: knob("SETSIG_THREADS", get("SETSIG_THREADS"))?.unwrap_or(1),
+            pool_pages: knob("SETSIG_POOL_PAGES", get("SETSIG_POOL_PAGES"))?,
+        })
     }
 }
 
@@ -316,6 +341,55 @@ impl SimDb {
 mod tests {
     use super::*;
     use setsig_workload::{Cardinality, Distribution};
+
+    fn lookup<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| {
+            pairs
+                .iter()
+                .find(|(name, _)| *name == k)
+                .map(|(_, v)| (*v).to_string())
+        }
+    }
+
+    #[test]
+    fn engine_env_defaults_when_unset_or_blank() {
+        assert_eq!(
+            EngineConfig::from_lookup(lookup(&[])).unwrap(),
+            EngineConfig::serial()
+        );
+        assert_eq!(
+            EngineConfig::from_lookup(lookup(&[
+                ("SETSIG_THREADS", ""),
+                ("SETSIG_POOL_PAGES", "   "),
+            ]))
+            .unwrap(),
+            EngineConfig::serial()
+        );
+    }
+
+    #[test]
+    fn engine_env_parses_valid_values_with_whitespace() {
+        let cfg = EngineConfig::from_lookup(lookup(&[
+            ("SETSIG_THREADS", " 8 "),
+            ("SETSIG_POOL_PAGES", "256"),
+        ]))
+        .unwrap();
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.pool_pages, Some(256));
+    }
+
+    #[test]
+    fn engine_env_rejects_zero_negative_and_garbage() {
+        for bad in ["0", "-3", "eight", "2.5", "1e3"] {
+            let err = EngineConfig::from_lookup(lookup(&[("SETSIG_THREADS", bad)])).unwrap_err();
+            assert!(
+                err.contains("SETSIG_THREADS") && err.contains(bad),
+                "error must name the variable and value: {err}"
+            );
+        }
+        let err = EngineConfig::from_lookup(lookup(&[("SETSIG_POOL_PAGES", "0")])).unwrap_err();
+        assert!(err.contains("SETSIG_POOL_PAGES"), "{err}");
+    }
 
     fn small_cfg() -> WorkloadConfig {
         WorkloadConfig {

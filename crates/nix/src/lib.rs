@@ -40,6 +40,7 @@
 //! assert!(c.exact, "intersection proves T ⊇ Q — no false drops");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod btree;

@@ -41,6 +41,7 @@
 //! assert_eq!(hits.actual, vec![jeff]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod database;

@@ -180,12 +180,10 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery> {
         "in-subset" => SetQuery::in_subset(elements),
         "equals" => SetQuery::equals(elements),
         "overlaps" => SetQuery::overlaps(elements),
-        "contains" => {
-            if elements.len() != 1 {
-                return Err(bad("`contains` takes exactly one element"));
-            }
-            SetQuery::contains(elements.pop().expect("checked length"))
-        }
+        "contains" => match (elements.pop(), elements.is_empty()) {
+            (Some(element), true) => SetQuery::contains(element),
+            _ => return Err(bad("`contains` takes exactly one element")),
+        },
         other => return Err(bad(&format!("unknown operator {other:?}"))),
     };
     Ok(ParsedQuery {

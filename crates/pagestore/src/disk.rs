@@ -67,6 +67,9 @@ struct DiskInner {
 ///
 /// `Disk` is internally synchronized; share it as `Arc<Disk>`.
 pub struct Disk {
+    // Lock ordering: this is the LEAF lock of the whole system. No method
+    // calls out of the crate (or into BufferPool) while holding it, so it
+    // can be taken from under any other lock without deadlock risk.
     inner: Mutex<DiskInner>,
 }
 

@@ -17,6 +17,7 @@
 //!
 //! Everything is deterministic given the seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod generator;

@@ -39,7 +39,7 @@ impl Zipf {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.gen();
         // First rank whose cumulative mass reaches u.
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }

@@ -1,0 +1,20 @@
+//! Accounting-lint FAIL fixture: raw page I/O outside any accounting
+//! wrapper. Every marked line must produce a diagnostic.
+
+use setsig_pagestore::{Disk, FileId, Page, PageIo};
+
+/// A scan that bypasses the accounting wrappers entirely.
+pub fn rogue_scan(disk: &Disk, f: FileId) -> u64 {
+    let page = disk.read_page(f, 0); //~ ERROR accounting
+    let _ = disk.write_page(f, 0, &Page::zeroed()); //~ ERROR accounting
+    if page.is_ok() {
+        1
+    } else {
+        0
+    }
+}
+
+/// Fully-qualified calls are calls too.
+pub fn qualified(disk: &Disk, f: FileId) {
+    let _ = PageIo::read_page(disk, f, 1); //~ ERROR accounting
+}

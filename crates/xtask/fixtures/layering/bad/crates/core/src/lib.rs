@@ -1,0 +1,7 @@
+//! Layering FAIL fixture: the source reference mirrors the manifest edge.
+
+use setsig_experiments::SimDb; //~ ERROR layering
+use setsig_pagestore::Disk;
+
+/// Build code consulting workload knowledge would break the protocol.
+pub fn f(_d: &Disk, _s: &SimDb) {}

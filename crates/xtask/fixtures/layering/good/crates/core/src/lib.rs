@@ -1,0 +1,6 @@
+//! Layering PASS fixture: downward references only.
+
+use setsig_pagestore::Disk;
+
+/// Storage-layer code stays in the storage layer.
+pub fn f(_d: &Disk) {}

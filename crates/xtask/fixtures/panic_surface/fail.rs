@@ -1,0 +1,22 @@
+//! Panic-surface FAIL fixture: every panicking shape the lint must catch
+//! in library code.
+
+/// Unwraps and expects.
+pub fn methods(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); //~ ERROR panic-surface
+    let b = x.expect("present"); //~ ERROR panic-surface
+    a + b
+}
+
+/// Macro panics.
+pub fn macros(a: u32) -> u32 {
+    if a > 100 {
+        panic!("too big"); //~ ERROR panic-surface
+    }
+    match a {
+        0 => unreachable!(), //~ ERROR panic-surface
+        1 => todo!(), //~ ERROR panic-surface
+        2 => unimplemented!(), //~ ERROR panic-surface
+        n => n,
+    }
+}

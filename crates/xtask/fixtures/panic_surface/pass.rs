@@ -1,0 +1,32 @@
+//! Panic-surface PASS fixture: error-returning code, assertions, non-panic
+//! `unwrap_*` variants, doc comments like `x.unwrap()`, test modules, and
+//! one allowlisted site.
+
+/// Returns errors instead of panicking; assertions are encouraged.
+pub fn good(x: Option<u32>) -> Result<u32, String> {
+    assert!(x.is_none() || x >= Some(0), "invariant documented here");
+    debug_assert_eq!(1 + 1, 2);
+    let v = x.unwrap_or(3);
+    let w = x.unwrap_or_else(|| 4);
+    let d = x.unwrap_or_default();
+    x.ok_or_else(|| "missing".to_string())
+        .map(|y| y + v + w + d)
+}
+
+/// Allowlisted as `justified` by the self-test harness.
+pub fn justified(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        v.expect("present");
+        if v.is_none() {
+            panic!("fine in tests");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! A crate root fenced with `deny`: enough for `pagestore`/`core` (which
+//! may opt in per site), not for anyone else.
+
+#![deny(unsafe_code)]
+
+/// Safe, revocably.
+pub fn f() {}

@@ -1,0 +1,14 @@
+//! Unsafe-audit FAIL fixture: `unsafe` with no `// SAFETY:` comment in
+//! range.
+
+/// An unsafe fn whose docs never state the contract.
+pub unsafe fn no_comment(p: *const u8) -> u8 { //~ ERROR unsafe-audit
+    *p
+}
+
+/// A block with a comment that is not a SAFETY comment.
+pub fn block() -> u8 {
+    let x = [1u8, 2];
+    // Reads in bounds, trust me.
+    unsafe { *x.as_ptr() } //~ ERROR unsafe-audit
+}

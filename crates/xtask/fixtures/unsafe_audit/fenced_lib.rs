@@ -1,0 +1,6 @@
+//! A properly fenced crate root: clean for every crate.
+
+#![forbid(unsafe_code)]
+
+/// Safe and says so.
+pub fn f() {}

@@ -1,0 +1,4 @@
+//! A crate root with no `unsafe_code` fence attribute: one diagnostic.
+
+/// Nothing unsafe here, but the crate never says so.
+pub fn f() {}

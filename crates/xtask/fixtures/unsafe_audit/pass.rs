@@ -1,0 +1,19 @@
+//! Unsafe-audit PASS fixture: every `unsafe` carries a `// SAFETY:`
+//! comment on the same line or within the three lines above it.
+
+/// Reads the first byte of `p`.
+///
+/// # Safety
+/// `p` must point at a readable byte.
+// SAFETY: the caller contract above guarantees `p` is valid.
+pub unsafe fn commented(p: *const u8) -> u8 {
+    // SAFETY: the function's contract guarantees `p` points at a
+    // readable byte.
+    unsafe { *p }
+}
+
+/// Same-line comments count too.
+pub fn inline() -> u8 {
+    let x = [7u8];
+    unsafe { *x.as_ptr() } // SAFETY: x is a live local array, in bounds.
+}

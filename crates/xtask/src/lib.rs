@@ -1,0 +1,122 @@
+//! # xtask — project-specific static analysis for the setsig workspace
+//!
+//! `cargo xtask analyze` runs four offline, hand-rolled lints over the
+//! workspace source (token-level scanner, no network, no rustc plumbing):
+//!
+//! 1. **accounting** — raw page I/O (`read_page` / `write_page`) may only be
+//!    called from the allowlisted accounting wrappers inside
+//!    `crates/pagestore`, so no code path can bypass the disk counters or
+//!    the engines' [`ScanStats`] discipline and silently corrupt the
+//!    reproduced page-access numbers.
+//! 2. **unsafe-audit** — every `unsafe` token must carry a `// SAFETY:`
+//!    comment within the three lines above it, and every crate except
+//!    `pagestore` and `core` must declare `#![forbid(unsafe_code)]`
+//!    (`pagestore`/`core` may relax to `#![deny(unsafe_code)]` so a future
+//!    hot path can opt in per site, visibly).
+//! 3. **panic-surface** — no `unwrap` / `expect` / `panic!` (or
+//!    `unreachable!` / `todo!` / `unimplemented!`) in library code outside
+//!    `#[cfg(test)]` modules, tests and benches, except for sites justified
+//!    in `crates/xtask/allow/panics.allow`.
+//! 4. **layering** — crate dependencies (manifest edges *and* `setsig_*`
+//!    source references) must follow the workspace DAG: the storage layers
+//!    (`pagestore`, `core`) can never reach up into the harness layers
+//!    (`experiments`, `workload`, `bench`), and pure-math crates
+//!    (`costmodel`, `workload`) stay dependency-free.
+//!
+//! The analyzer is deliberately syntactic: it trades soundness-in-general
+//! for zero dependencies and total transparency. Each lint is a small token
+//! pattern plus an explicit allowlist, and the fixture corpus under
+//! `crates/xtask/fixtures/` pins down exactly what each one accepts and
+//! rejects (`cargo xtask analyze --self-test`).
+//!
+//! [`ScanStats`]: https://docs.rs/setsig-core
+
+#![forbid(unsafe_code)]
+
+pub mod lints;
+pub mod scan;
+pub mod selftest;
+pub mod workspace;
+
+use std::fmt;
+use std::path::Path;
+
+/// Which lint produced a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// Raw page I/O outside an accounting wrapper.
+    Accounting,
+    /// `unsafe` without a `// SAFETY:` comment, or a missing
+    /// `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` crate attribute.
+    UnsafeAudit,
+    /// `unwrap` / `expect` / `panic!`-family in non-test library code.
+    PanicSurface,
+    /// A dependency edge that violates the workspace DAG.
+    Layering,
+}
+
+impl Lint {
+    /// Stable kebab-case name, used in output and fixture markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Accounting => "accounting",
+            Lint::UnsafeAudit => "unsafe-audit",
+            Lint::PanicSurface => "panic-surface",
+            Lint::Layering => "layering",
+        }
+    }
+
+    /// Parses a fixture-marker name (`//~ ERROR <name>`).
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "accounting" => Some(Lint::Accounting),
+            "unsafe-audit" => Some(Lint::UnsafeAudit),
+            "panic-surface" => Some(Lint::PanicSurface),
+            "layering" => Some(Lint::Layering),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a file, a line, the lint that fired, and an actionable
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The lint that fired.
+    pub lint: Lint,
+    /// What is wrong and how to fix it.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.msg
+        )
+    }
+}
+
+/// Runs every lint over the workspace rooted at `root` and returns the
+/// findings sorted by file, line, lint.
+pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let ws = workspace::Workspace::load(root)?;
+    let mut diags = Vec::new();
+    diags.extend(lints::accounting::run(&ws)?);
+    diags.extend(lints::unsafe_audit::run(&ws));
+    diags.extend(lints::panic_surface::run(&ws)?);
+    diags.extend(lints::layering::run(&ws)?);
+    diags.sort_by(|a, b| (&a.file, a.line, a.lint, &a.msg).cmp(&(&b.file, b.line, b.lint, &b.msg)));
+    Ok(diags)
+}

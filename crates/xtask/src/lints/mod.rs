@@ -1,0 +1,8 @@
+//! The four project lints. Each exposes `run(&Workspace)` plus a
+//! file-granular `check_*` entry point the fixture self-tests drive
+//! directly.
+
+pub mod accounting;
+pub mod layering;
+pub mod panic_surface;
+pub mod unsafe_audit;

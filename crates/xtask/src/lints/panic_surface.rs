@@ -1,0 +1,73 @@
+//! **panic-surface** — library code returns errors; it does not panic.
+//!
+//! Flags `.unwrap()` / `.expect(…)` calls and `panic!` / `unreachable!` /
+//! `todo!` / `unimplemented!` macro invocations in library sources, outside
+//! `#[cfg(test)]` modules. Binaries, tests and benches are exempt; `assert!`
+//! and `debug_assert!` are deliberately *not* flagged — assertions that
+//! document invariants are encouraged, blind `.unwrap()` is not.
+//!
+//! Sites with a real justification (e.g. a mutex poisoned only if a worker
+//! already panicked) are listed with reasons in
+//! `crates/xtask/allow/panics.allow`.
+
+use crate::scan::{fn_context, test_mask};
+use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
+use crate::{Diagnostic, Lint};
+
+/// Method-style panickers (`x.unwrap()`, `x.expect("…")`).
+const METHODS: [&str; 2] = ["unwrap", "expect"];
+/// Macro-style panickers (`panic!`, …).
+const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the lint over library sources.
+pub fn run(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
+    let allow = ws.allowlist("panics.allow")?;
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.class != FileClass::Lib {
+            continue;
+        }
+        out.extend(check_file(file, &allow));
+    }
+    Ok(out)
+}
+
+/// Checks one file against the allowlist.
+pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
+    let toks = &file.scanned.toks;
+    let mask = test_mask(toks);
+    let ctx = fn_context(toks);
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let method = METHODS.iter().any(|m| t.is_ident(m))
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let mac = MACROS.iter().any(|m| t.is_ident(m))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if !(method || mac) {
+            continue;
+        }
+        if allow.permits(&file.rel, ctx[i].as_deref()) {
+            continue;
+        }
+        let shape = if method {
+            format!(".{}()", t.text)
+        } else {
+            format!("{}!", t.text)
+        };
+        out.push(Diagnostic {
+            file: file.rel.clone(),
+            line: t.line,
+            lint: Lint::PanicSurface,
+            msg: format!(
+                "`{shape}` in library code; return a `Result` (or justify \
+                 the site in crates/xtask/allow/panics.allow)"
+            ),
+        });
+    }
+    out
+}

@@ -1,0 +1,125 @@
+//! **unsafe-audit** — every `unsafe` is commented, every crate is fenced.
+//!
+//! Two rules:
+//!
+//! 1. Every `unsafe` token (block, fn, impl, trait) must have a comment
+//!    containing `SAFETY:` on the same line or within the three lines above
+//!    it — the std-library convention, machine-enforced.
+//! 2. Every crate's `lib.rs` must fence unsafe code at the crate level:
+//!    `#![forbid(unsafe_code)]` everywhere, relaxed to at least
+//!    `#![deny(unsafe_code)]` only for `pagestore` and `core` (the two
+//!    crates a future hot path might teach to use `unsafe` — behind a
+//!    visible per-site `#[allow]` + `// SAFETY:` pair).
+//!
+//! Unlike the other lints this one also covers tests and benches: an
+//! unjustified `unsafe` in a test harness corrupts evidence just as well.
+
+use crate::scan::Tok;
+use crate::workspace::{SourceFile, Workspace};
+use crate::{Diagnostic, Lint};
+
+/// Crates allowed to use `#![deny(unsafe_code)]` instead of `forbid`.
+const MAY_DENY: [&str; 2] = ["pagestore", "core"];
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: u32 = 3;
+
+/// Runs both rules over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        out.extend(check_file(file));
+        if let Some(crate_dir) = lib_rs_crate(&file.rel) {
+            out.extend(check_crate_attr(file, crate_dir));
+        }
+    }
+    out
+}
+
+/// `Some(<crate dir>)` if `rel` is a crate root (`crates/<dir>/src/lib.rs`
+/// or the facade's `src/lib.rs`).
+fn lib_rs_crate(rel: &str) -> Option<&str> {
+    if rel == "src/lib.rs" {
+        return Some("setsig");
+    }
+    let rest = rel.strip_prefix("crates/")?;
+    let (dir, tail) = rest.split_once('/')?;
+    (tail == "src/lib.rs").then_some(dir)
+}
+
+/// Rule 1: `unsafe` tokens need a nearby `SAFETY:` comment.
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for t in &file.scanned.toks {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let from = t.line.saturating_sub(SAFETY_WINDOW);
+        if file
+            .scanned
+            .comment_in_range_contains(from, t.line, "SAFETY:")
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.rel.clone(),
+            line: t.line,
+            lint: Lint::UnsafeAudit,
+            msg: "`unsafe` without a `// SAFETY:` comment on the same line \
+                  or the three lines above it"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// Rule 2: the crate-level fence attribute.
+pub fn check_crate_attr(file: &SourceFile, crate_dir: &str) -> Vec<Diagnostic> {
+    let may_deny = MAY_DENY.contains(&crate_dir);
+    let toks = &file.scanned.toks;
+    let mut found = false;
+    for (i, t) in toks.iter().enumerate() {
+        // `#![forbid(unsafe_code, …)]` / `#![deny(unsafe_code, …)]`.
+        if !(t.is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('[')))
+        {
+            continue;
+        }
+        let fence = match toks.get(i + 3) {
+            Some(t) if t.is_ident("forbid") => true,
+            Some(t) if t.is_ident("deny") && may_deny => true,
+            _ => false,
+        };
+        if !fence || !toks.get(i + 4).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let names = toks[i + 5..]
+            .iter()
+            .take_while(|t| !t.is_punct(')'))
+            .any(|t| t.is_ident("unsafe_code"));
+        if names {
+            found = true;
+            break;
+        }
+    }
+    if found {
+        return Vec::new();
+    }
+    let want = if may_deny {
+        "#![deny(unsafe_code)] (or forbid)"
+    } else {
+        "#![forbid(unsafe_code)]"
+    };
+    vec![Diagnostic {
+        file: file.rel.clone(),
+        line: 1,
+        lint: Lint::UnsafeAudit,
+        msg: format!("crate `{crate_dir}` is missing a crate-level {want} attribute"),
+    }]
+}
+
+/// Helper for fixtures: true if the token stream contains an `unsafe` ident.
+pub fn has_unsafe(toks: &[Tok]) -> bool {
+    toks.iter().any(|t| t.is_ident("unsafe"))
+}

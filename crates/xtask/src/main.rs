@@ -1,0 +1,90 @@
+//! `cargo xtask` — project task runner. Currently one task: `analyze`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  analyze [--root <path>]   run the project lints over the workspace
+  analyze --self-test       verify the lints against the fixture corpus
+
+Lints: accounting, unsafe-audit, panic-surface, layering.
+See DESIGN.md \"Static analysis & invariants\" for what each enforces.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("analyze") => {}
+        Some("--help" | "-h") | None => {
+            println!("{USAGE}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        Some(other) => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut self_test = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let p = it.next().ok_or_else(|| "--root needs a path".to_string())?;
+                root = Some(PathBuf::from(p));
+            }
+            "--self-test" => self_test = true,
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => default_root()?,
+    };
+
+    if self_test {
+        let failures = xtask::selftest::self_test(&root)?;
+        if failures.is_empty() {
+            println!("xtask analyze --self-test: fixture corpus OK");
+            return Ok(ExitCode::SUCCESS);
+        }
+        for f in &failures {
+            eprintln!("self-test failure: {f}");
+        }
+        eprintln!("xtask analyze --self-test: {} failure(s)", failures.len());
+        return Ok(ExitCode::FAILURE);
+    }
+
+    let diags = xtask::analyze(&root)?;
+    if diags.is_empty() {
+        println!(
+            "xtask analyze: workspace clean (accounting, unsafe-audit, panic-surface, layering)"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!("xtask analyze: {} violation(s)", diags.len());
+    Ok(ExitCode::FAILURE)
+}
+
+/// The workspace root: two levels above this crate's manifest, independent
+/// of the invocation directory.
+fn default_root() -> Result<PathBuf, String> {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".to_string())
+}

@@ -1,0 +1,199 @@
+//! Fixture self-test: proves each lint still rejects what it must reject
+//! and accepts what it must accept.
+//!
+//! Fixtures live in `crates/xtask/fixtures/<lint>/`. `fail` fixtures mark
+//! every expected finding with a trailing `//~ ERROR <lint-name>` comment
+//! (`#~ ERROR <lint-name>` in TOML); the harness requires the produced
+//! diagnostics to match the markers *exactly* — same file, same line, same
+//! lint — so a lint that drifts quiet or noisy fails the suite either way.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lints;
+use crate::scan;
+use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
+use crate::{Diagnostic, Lint};
+
+/// Runs the whole fixture corpus. Returns the list of failures (empty =
+/// pass).
+pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
+    let fixtures = root.join("crates/xtask/fixtures");
+    if !fixtures.is_dir() {
+        return Err(format!("fixture corpus missing at {}", fixtures.display()));
+    }
+    let mut failures = Vec::new();
+
+    // accounting: fail fixture trips, pass fixture (which routes through
+    // wrappers and uses an allowlisted site) stays clean.
+    let allow = Allowlist::parse(
+        "# self-test: the fixture's justified site\n\
+         crates/experiments/src/fixture.rs::allowlisted_site\n",
+    );
+    check_file_fixture(
+        &fixtures.join("accounting/fail.rs"),
+        |f| lints::accounting::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    check_file_fixture(
+        &fixtures.join("accounting/pass.rs"),
+        |f| lints::accounting::check_file(f, &allow),
+        &mut failures,
+    )?;
+
+    // panic-surface.
+    check_file_fixture(
+        &fixtures.join("panic_surface/fail.rs"),
+        |f| lints::panic_surface::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    let allow_panics = Allowlist::parse(
+        "# self-test: justified panic site\n\
+         crates/experiments/src/fixture.rs::justified\n",
+    );
+    check_file_fixture(
+        &fixtures.join("panic_surface/pass.rs"),
+        |f| lints::panic_surface::check_file(f, &allow_panics),
+        &mut failures,
+    )?;
+
+    // unsafe-audit: SAFETY comments…
+    check_file_fixture(
+        &fixtures.join("unsafe_audit/fail.rs"),
+        lints::unsafe_audit::check_file,
+        &mut failures,
+    )?;
+    check_file_fixture(
+        &fixtures.join("unsafe_audit/pass.rs"),
+        lints::unsafe_audit::check_file,
+        &mut failures,
+    )?;
+    // …and the crate-level fence. A lib.rs without any fence must produce
+    // exactly one diagnostic; one with `forbid` must be clean.
+    let fence_fail = load_fixture(&fixtures.join("unsafe_audit/missing_fence_lib.rs"))?;
+    let got = lints::unsafe_audit::check_crate_attr(&fence_fail, "somecrate");
+    if got.len() != 1 {
+        failures.push(format!(
+            "unsafe_audit/missing_fence_lib.rs: expected exactly 1 missing-fence \
+             diagnostic, got {}",
+            got.len()
+        ));
+    }
+    let fence_pass = load_fixture(&fixtures.join("unsafe_audit/fenced_lib.rs"))?;
+    let got = lints::unsafe_audit::check_crate_attr(&fence_pass, "somecrate");
+    if !got.is_empty() {
+        failures.push(format!(
+            "unsafe_audit/fenced_lib.rs: expected clean, got {got:?}"
+        ));
+    }
+    // pagestore/core may fence with `deny` instead of `forbid`.
+    let denied = load_fixture(&fixtures.join("unsafe_audit/denied_lib.rs"))?;
+    if !lints::unsafe_audit::check_crate_attr(&denied, "pagestore").is_empty() {
+        failures.push("unsafe_audit/denied_lib.rs: deny must satisfy pagestore".to_string());
+    }
+    if lints::unsafe_audit::check_crate_attr(&denied, "somecrate").len() != 1 {
+        failures.push("unsafe_audit/denied_lib.rs: deny must NOT satisfy other crates".to_string());
+    }
+
+    // layering: a bad mini-workspace (manifest edge + source reference) and
+    // a good one.
+    check_tree_fixture(&fixtures.join("layering/bad"), &mut failures)?;
+    check_tree_fixture(&fixtures.join("layering/good"), &mut failures)?;
+
+    Ok(failures)
+}
+
+/// Loads a fixture file as library code of a pretend `experiments` crate.
+fn load_fixture(path: &Path) -> Result<SourceFile, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Ok(SourceFile {
+        rel: "crates/experiments/src/fixture.rs".to_string(),
+        class: FileClass::Lib,
+        crate_dir: Some("experiments".to_string()),
+        scanned: scan::scan(&text),
+    })
+}
+
+/// `(line, lint)` for every `~ ERROR <name>` marker in `text`.
+fn expected_markers(text: &str) -> Vec<(u32, Lint)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(pos) = line.find("~ ERROR ") else {
+            continue;
+        };
+        let name = line[pos + "~ ERROR ".len()..]
+            .split_whitespace()
+            .next()
+            .unwrap_or("");
+        if let Some(lint) = Lint::from_name(name) {
+            out.push((idx as u32 + 1, lint));
+        }
+    }
+    out
+}
+
+/// Runs `check` on one fixture file and compares against its markers.
+fn check_file_fixture(
+    path: &Path,
+    check: impl Fn(&SourceFile) -> Vec<Diagnostic>,
+    failures: &mut Vec<String>,
+) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let file = load_fixture(path)?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    compare(&name, expected_markers(&text), check(&file), failures);
+    Ok(())
+}
+
+/// Runs the layering lint over a mini-workspace fixture tree and compares
+/// against the markers found anywhere in that tree.
+fn check_tree_fixture(tree: &Path, failures: &mut Vec<String>) -> Result<(), String> {
+    let mut expected = Vec::new();
+    collect_tree_markers(tree, &mut expected)?;
+    let ws = Workspace::load(tree)?;
+    let got = lints::layering::run(&ws)?;
+    let name = tree
+        .file_name()
+        .map(|n| format!("layering/{}", n.to_string_lossy()))
+        .unwrap_or_default();
+    compare(&name, expected, got, failures);
+    Ok(())
+}
+
+fn collect_tree_markers(dir: &Path, out: &mut Vec<(u32, Lint)>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_tree_markers(&path, out)?;
+        } else if let Ok(text) = fs::read_to_string(&path) {
+            out.extend(expected_markers(&text));
+        }
+    }
+    Ok(())
+}
+
+/// Compares expected `(line, lint)` pairs against produced diagnostics.
+fn compare(
+    name: &str,
+    mut expected: Vec<(u32, Lint)>,
+    got: Vec<Diagnostic>,
+    failures: &mut Vec<String>,
+) {
+    let mut actual: Vec<(u32, Lint)> = got.iter().map(|d| (d.line, d.lint)).collect();
+    expected.sort_unstable();
+    actual.sort_unstable();
+    if expected != actual {
+        failures.push(format!(
+            "{name}: expected {expected:?}, got {actual:?}\n  diagnostics: {}",
+            got.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! Workspace discovery: which files exist, what role each plays, and the
+//! allowlists that carve out justified exceptions.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{self, Scanned};
+
+/// The role a source file plays, which decides which lints apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code (`crates/<c>/src/**`, root `src/**`): all lints.
+    Lib,
+    /// Binary code (`src/bin/**`, the xtask tool): accounting + unsafe +
+    /// layering, but the panic surface is the binary's own business.
+    Bin,
+    /// Integration tests / benches / examples: unsafe audit only.
+    Test,
+}
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Which lints apply.
+    pub class: FileClass,
+    /// `Some(<dir name>)` for files under `crates/<dir>/…`, `None` for the
+    /// root facade package.
+    pub crate_dir: Option<String>,
+    /// Token/comment scan of the file.
+    pub scanned: Scanned,
+}
+
+/// The loaded workspace: every source file plus the allowlists.
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// All scanned source files, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks and scans the workspace rooted at `root`.
+    ///
+    /// Covered: `crates/*/{src,tests,benches}`, root `src/`, `tests/`,
+    /// `examples/`. Excluded: `target/`, `vendor/` (offline stand-ins for
+    /// crates.io dependencies) and `crates/xtask/fixtures/` (the lint
+    /// corpus, which *must* contain violations).
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        if let Ok(entries) = fs::read_dir(&crates_dir) {
+            let mut dirs: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            dirs.sort();
+            for dir in dirs {
+                let name = match dir.file_name().and_then(|n| n.to_str()) {
+                    Some(n) => n.to_string(),
+                    None => continue,
+                };
+                collect_dir(root, &dir.join("src"), &mut files, |rel| {
+                    let class = if rel.contains("/src/bin/") {
+                        FileClass::Bin
+                    } else {
+                        FileClass::Lib
+                    };
+                    (class, Some(name.clone()))
+                })?;
+                for sub in ["tests", "benches"] {
+                    collect_dir(root, &dir.join(sub), &mut files, |_| {
+                        (FileClass::Test, Some(name.clone()))
+                    })?;
+                }
+            }
+        }
+        collect_dir(root, &root.join("src"), &mut files, |rel| {
+            let class = if rel.contains("src/bin/") {
+                FileClass::Bin
+            } else {
+                FileClass::Lib
+            };
+            (class, None)
+        })?;
+        for sub in ["tests", "examples", "benches"] {
+            collect_dir(root, &root.join(sub), &mut files, |_| {
+                (FileClass::Test, None)
+            })?;
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// Loads the allowlist at `crates/xtask/allow/<name>`, or an empty one
+    /// if the file does not exist.
+    pub fn allowlist(&self, name: &str) -> Result<Allowlist, String> {
+        let path = self.root.join("crates/xtask/allow").join(name);
+        if !path.exists() {
+            return Ok(Allowlist::default());
+        }
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Ok(Allowlist::parse(&text))
+    }
+}
+
+fn collect_dir(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<SourceFile>,
+    classify: impl Fn(&str) -> (FileClass, Option<String>) + Copy,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            // Never descend into the fixture corpus.
+            if path.file_name().and_then(|n| n.to_str()) == Some("fixtures") {
+                continue;
+            }
+            collect_dir(root, &path, out, classify)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = rel_path(root, &path)?;
+            let (class, crate_dir) = classify(&rel);
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            out.push(SourceFile {
+                rel,
+                class,
+                crate_dir,
+                scanned: scan::scan(&text),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> Result<String, String> {
+    let rel = path
+        .strip_prefix(root)
+        .map_err(|_| format!("{} outside workspace root", path.display()))?;
+    Ok(rel.to_string_lossy().replace('\\', "/"))
+}
+
+/// One allowlist entry: a whole file, or one function within a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// `Some(fn_name)` restricts the entry to one function.
+    pub func: Option<String>,
+}
+
+/// A parsed allowlist (`crates/xtask/allow/*.allow`).
+///
+/// Format: one entry per line — `path/to/file.rs` (whole file) or
+/// `path/to/file.rs::function_name`. Blank lines and `#` comments are
+/// ignored; the convention is that every entry (or block of entries) carries
+/// a `#` comment justifying it.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text.
+    pub fn parse(text: &str) -> Self {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| match l.split_once("::") {
+                Some((path, func)) => AllowEntry {
+                    path: path.trim().to_string(),
+                    func: Some(func.trim().to_string()),
+                },
+                None => AllowEntry {
+                    path: l.to_string(),
+                    func: None,
+                },
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// True if `file` (optionally within function `func`) is allowlisted.
+    pub fn permits(&self, file: &str, func: Option<&str>) -> bool {
+        self.entries.iter().any(|e| {
+            e.path == file
+                && match (&e.func, func) {
+                    (None, _) => true,
+                    (Some(want), Some(have)) => want == have,
+                    (Some(_), None) => false,
+                }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parses_and_matches() {
+        let a = Allowlist::parse(
+            "# reason\ncrates/a/src/x.rs\n\n# another\ncrates/b/src/y.rs::helper\n",
+        );
+        assert!(a.permits("crates/a/src/x.rs", None));
+        assert!(a.permits("crates/a/src/x.rs", Some("anything")));
+        assert!(a.permits("crates/b/src/y.rs", Some("helper")));
+        assert!(!a.permits("crates/b/src/y.rs", Some("other")));
+        assert!(!a.permits("crates/b/src/y.rs", None));
+        assert!(!a.permits("crates/c/src/z.rs", None));
+    }
+}

@@ -1,0 +1,21 @@
+//! The analyzer's fixture self-test, as a regular `cargo test` target so
+//! a drifted lint fails CI even if nobody runs `xtask analyze --self-test`.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root exists")
+}
+
+#[test]
+fn every_fixture_marker_is_matched_exactly() {
+    let failures = xtask::selftest::self_test(&repo_root()).expect("fixtures readable");
+    assert!(
+        failures.is_empty(),
+        "analyzer drifted from its fixtures:\n{}",
+        failures.join("\n")
+    );
+}

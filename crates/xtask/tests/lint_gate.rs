@@ -1,0 +1,27 @@
+//! The live workspace must satisfy its own invariants: `xtask analyze`
+//! runs here as a test, so `cargo test --workspace` alone gates the four
+//! project lints without needing the separate CI step.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root exists")
+}
+
+#[test]
+fn workspace_is_clean_under_all_four_lints() {
+    let diags = xtask::analyze(&repo_root()).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "xtask analyze found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -53,6 +53,8 @@
 //! assert_eq!(result.actual, vec![jeff]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use setsig_core as core;
 pub use setsig_costmodel as costmodel;
 pub use setsig_nix as nix;
