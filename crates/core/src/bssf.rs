@@ -33,6 +33,7 @@ use crate::error::{Error, Result};
 use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
 use crate::oid::Oid;
 use crate::oidfile::OidFile;
+use crate::qtrace::{QueryObs, QueryOutcome};
 use crate::query::{SetPredicate, SetQuery};
 use crate::signature::Signature;
 
@@ -51,7 +52,9 @@ pub struct Bssf {
     /// The buffer pool slice reads are routed through when built via
     /// [`Bssf::create_cached`].
     pool: Option<Arc<BufferPool>>,
-    scan: ScanCounters,
+    /// Observability recorder; `None` (the default) keeps the query path
+    /// free of any clock or metrics work.
+    obs: Option<Arc<setsig_obs::Recorder>>,
 }
 
 impl Bssf {
@@ -68,7 +71,7 @@ impl Bssf {
             meta_file: None,
             threads: 1,
             pool: None,
-            scan: ScanCounters::default(),
+            obs: None,
         })
     }
 
@@ -108,11 +111,12 @@ impl Bssf {
         self.pool.as_ref()
     }
 
-    /// Page-access accounting of the most recent filtering scan (the
-    /// counters behind the invariant that parallel and serial engines
-    /// charge identical logical pages).
-    pub fn last_scan_stats(&self) -> ScanStats {
-        self.scan.stats()
+    /// Attaches (or with `None`, detaches) an observability recorder.
+    /// Attached, every `candidates*` call emits a
+    /// [`QueryTrace`](setsig_obs::QueryTrace) and updates the `bssf.*`
+    /// metrics; detached, the query path does no observability work at all.
+    pub fn set_recorder(&mut self, rec: Option<Arc<setsig_obs::Recorder>>) {
+        self.obs = rec;
     }
 
     /// The signature design parameters.
@@ -272,7 +276,7 @@ impl Bssf {
     /// The AND runs word-at-a-time straight off the page bytes
     /// ([`Bitmap::and_assign_bytes`]), and stops as soon as the running
     /// candidate bitmap is empty — no later slice can revive a row.
-    fn superset_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
+    fn superset_positions(&self, query_sig: &Signature, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
         if ones.is_empty() {
@@ -280,17 +284,20 @@ impl Bssf {
             return Ok((0..n).collect());
         }
         if self.threads > 1 && ones.len() > 1 {
-            return self.superset_positions_parallel(&ones, n);
+            return self.superset_positions_parallel(&ones, n, ctr);
         }
         let (bytes, np) = self.read_slice_bytes(ones[0])?;
-        self.scan.charge_both(np);
+        ctr.charge_both(np);
+        ctr.note_slices(1);
         let mut acc = Bitmap::from_bytes(n as u32, &bytes);
         for &j in &ones[1..] {
             if acc.is_zero() {
+                ctr.mark_early_exit();
                 break;
             }
             let (bytes, np) = self.read_slice_bytes(j)?;
-            self.scan.charge_both(np);
+            ctr.charge_both(np);
+            ctr.note_slices(1);
             acc.and_assign_bytes(&bytes);
         }
         Ok(acc.iter_ones().map(u64::from).collect())
@@ -306,7 +313,12 @@ impl Bssf {
     /// serial protocol would stop — charging the same logical pages and
     /// producing the same candidate bitmap. Speculative fetches beyond the
     /// stop point count only as physical pages.
-    fn superset_positions_parallel(&self, ones: &[u32], n: u64) -> Result<Vec<u64>> {
+    fn superset_positions_parallel(
+        &self,
+        ones: &[u32],
+        n: u64,
+        ctr: &ScanCounters,
+    ) -> Result<Vec<u64>> {
         /// A fetched slice's bytes plus the pages read to get them.
         type SliceFetch = Result<(Vec<u8>, u64)>;
         let threads = self.threads.min(ones.len());
@@ -355,7 +367,7 @@ impl Bssf {
                     };
                     let res = self.read_slice_bytes(ones[idx]);
                     if let Ok((_, np)) = &res {
-                        self.scan.physical.fetch_add(*np, Ordering::Relaxed);
+                        ctr.physical.fetch_add(*np, Ordering::Relaxed);
                     }
                     let mut g = shared.lock().unwrap();
                     g.fetched[idx] = Some(res);
@@ -382,7 +394,8 @@ impl Bssf {
                         return Err(e);
                     }
                 };
-                self.scan.logical.fetch_add(np, Ordering::Relaxed);
+                ctr.logical.fetch_add(np, Ordering::Relaxed);
+                ctr.note_slices(1);
                 let empty = match &mut acc {
                     None => {
                         let first = Bitmap::from_bytes(n as u32, &bytes);
@@ -399,6 +412,9 @@ impl Bssf {
                 g.committed = k + 1;
                 if empty {
                     g.stop = true;
+                    if k + 1 < ones.len() {
+                        ctr.mark_early_exit();
+                    }
                     work.notify_all();
                     break;
                 }
@@ -422,11 +438,17 @@ impl Bssf {
         &self,
         query_sig: &Signature,
         slice_cap: Option<usize>,
+        ctr: &ScanCounters,
     ) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let zeros: Vec<u32> = query_sig.bitmap().iter_zeros().collect();
         let take = slice_cap.unwrap_or(zeros.len()).min(zeros.len());
+        if take < zeros.len() {
+            // The smart cap stops the scan before all F − m_q zero-slices.
+            ctr.mark_early_exit();
+        }
         let zeros = &zeros[..take];
+        ctr.note_slices(zeros.len() as u64);
         let acc = if self.threads > 1 && zeros.len() > 1 {
             let threads = self.threads.min(zeros.len());
             let next = AtomicUsize::new(0);
@@ -452,7 +474,7 @@ impl Bssf {
                 let mut acc = Bitmap::zeroed(n as u32);
                 for h in handles {
                     let (local, pages) = h.join().expect("slice worker panicked")?;
-                    self.scan.charge_both(pages);
+                    ctr.charge_both(pages);
                     acc.or_assign(&local);
                 }
                 Ok(acc)
@@ -461,7 +483,7 @@ impl Bssf {
             let mut acc = Bitmap::zeroed(n as u32);
             for &j in zeros {
                 let (bytes, np) = self.read_slice_bytes(j)?;
-                self.scan.charge_both(np);
+                ctr.charge_both(np);
                 acc.or_assign_bytes(&bytes);
             }
             acc
@@ -471,10 +493,10 @@ impl Bssf {
 
     /// Set-equality scan: rows where every 1-slice is set and every 0-slice
     /// is clear. Reads all `F` slices.
-    fn equals_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
-        let sup = self.superset_positions(query_sig)?;
+    fn equals_positions(&self, query_sig: &Signature, ctr: &ScanCounters) -> Result<Vec<u64>> {
+        let sup = self.superset_positions(query_sig, ctr)?;
         let sub: std::collections::BTreeSet<u64> = self
-            .subset_positions(query_sig, None)?
+            .subset_positions(query_sig, None, ctr)?
             .into_iter()
             .collect();
         Ok(sup.into_iter().filter(|p| sub.contains(p)).collect())
@@ -485,9 +507,10 @@ impl Bssf {
     ///
     /// Like the subset scan there is no early exit, so the parallel path
     /// accumulates per-worker count vectors and sums them at the join.
-    fn overlap_positions(&self, query_sig: &Signature) -> Result<Vec<u64>> {
+    fn overlap_positions(&self, query_sig: &Signature, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len() as usize;
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
+        ctr.note_slices(ones.len() as u64);
         let counts = if self.threads > 1 && ones.len() > 1 {
             let threads = self.threads.min(ones.len());
             let next = AtomicUsize::new(0);
@@ -516,7 +539,7 @@ impl Bssf {
                 let mut counts = vec![0u16; n];
                 for h in handles {
                     let (local, pages) = h.join().expect("slice worker panicked")?;
-                    self.scan.charge_both(pages);
+                    ctr.charge_both(pages);
                     for (c, l) in counts.iter_mut().zip(&local) {
                         *c += l;
                     }
@@ -527,7 +550,7 @@ impl Bssf {
             let mut counts = vec![0u16; n];
             for &j in &ones {
                 let (bytes, np) = self.read_slice_bytes(j)?;
-                self.scan.charge_both(np);
+                ctr.charge_both(np);
                 let rows = Bitmap::from_bytes(n as u32, &bytes);
                 for p in rows.iter_ones() {
                     counts[p as usize] += 1;
@@ -544,19 +567,26 @@ impl Bssf {
             .collect())
     }
 
-    fn positions_for(&self, query: &SetQuery, query_sig: &Signature) -> Result<Vec<u64>> {
+    fn positions_for(
+        &self,
+        query: &SetQuery,
+        query_sig: &Signature,
+        ctr: &ScanCounters,
+    ) -> Result<Vec<u64>> {
         match query.predicate {
-            SetPredicate::HasSubset | SetPredicate::Contains => self.superset_positions(query_sig),
-            SetPredicate::InSubset => self.subset_positions(query_sig, None),
-            SetPredicate::Equals => self.equals_positions(query_sig),
-            SetPredicate::Overlaps => self.overlap_positions(query_sig),
+            SetPredicate::HasSubset | SetPredicate::Contains => {
+                self.superset_positions(query_sig, ctr)
+            }
+            SetPredicate::InSubset => self.subset_positions(query_sig, None, ctr),
+            SetPredicate::Equals => self.equals_positions(query_sig, ctr),
+            SetPredicate::Overlaps => self.overlap_positions(query_sig, ctr),
         }
     }
 
-    fn resolve(&self, positions: Vec<u64>) -> Result<CandidateSet> {
+    fn resolve(&self, positions: Vec<u64>, ctr: &ScanCounters) -> Result<CandidateSet> {
         // The OID look-up is part of the filtering stage's protocol charge
         // (the paper's LC_OID); it is never speculative or parallel.
-        self.scan.charge_both(OidFile::pages_touched(&positions));
+        ctr.charge_both(OidFile::pages_touched(&positions));
         let resolved = self.oid_file.lookup_positions(&positions)?;
         Ok(CandidateSet::new(
             resolved.into_iter().map(|(_, oid)| oid).collect(),
@@ -573,17 +603,26 @@ impl Bssf {
         &self,
         query: &SetQuery,
         max_elems: usize,
-    ) -> Result<CandidateSet> {
+    ) -> Result<(CandidateSet, ScanStats)> {
         if query.predicate != SetPredicate::HasSubset {
             return Err(Error::BadQuery(
                 "smart superset strategy requires T ⊇ Q".into(),
             ));
         }
-        self.scan.reset();
+        let obs = QueryObs::start(&self.obs, || self.cache_stats());
+        let ctr = ScanCounters::default();
         let take = query.elements.len().min(max_elems.max(1));
+        if take < query.elements.len() {
+            ctr.mark_early_exit();
+        }
         let reduced = Signature::for_set(&self.cfg, &query.elements[..take]);
-        let positions = self.superset_positions(&reduced)?;
-        self.resolve(positions)
+        let positions = self.superset_positions(&reduced, &ctr)?;
+        let set = self.resolve(positions, &ctr)?;
+        let stats = ctr.stats();
+        if let Some(o) = obs {
+            o.finish(query, self.outcome(Some("smart"), &ctr, &set));
+        }
+        Ok((set, stats))
     }
 
     /// The §5.2.2 smart strategy for `T ⊆ Q`: read only `max_slices` of the
@@ -594,16 +633,41 @@ impl Bssf {
         &self,
         query: &SetQuery,
         max_slices: usize,
-    ) -> Result<CandidateSet> {
+    ) -> Result<(CandidateSet, ScanStats)> {
         if query.predicate != SetPredicate::InSubset {
             return Err(Error::BadQuery(
                 "smart subset strategy requires T ⊆ Q".into(),
             ));
         }
-        self.scan.reset();
+        let obs = QueryObs::start(&self.obs, || self.cache_stats());
+        let ctr = ScanCounters::default();
         let query_sig = query.signature(&self.cfg);
-        let positions = self.subset_positions(&query_sig, Some(max_slices))?;
-        self.resolve(positions)
+        let positions = self.subset_positions(&query_sig, Some(max_slices), &ctr)?;
+        let set = self.resolve(positions, &ctr)?;
+        let stats = ctr.stats();
+        if let Some(o) = obs {
+            o.finish(query, self.outcome(Some("smart"), &ctr, &set));
+        }
+        Ok((set, stats))
+    }
+
+    /// Assembles the trace fields only the facility knows, for
+    /// [`QueryObs::finish`].
+    fn outcome<'a>(
+        &self,
+        strategy: Option<&'static str>,
+        ctr: &'a ScanCounters,
+        set: &'a CandidateSet,
+    ) -> QueryOutcome<'a> {
+        QueryOutcome {
+            facility: "bssf",
+            strategy,
+            geometry: Some((self.cfg.f_bits(), self.cfg.m_weight())),
+            ctr: Some(ctr),
+            track_slices: true,
+            set,
+            cache_after: self.cache_stats(),
+        }
     }
 }
 
@@ -625,11 +689,17 @@ impl SetAccessFacility for Bssf {
         Ok(())
     }
 
-    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
-        self.scan.reset();
+    fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
+        let obs = QueryObs::start(&self.obs, || self.cache_stats());
+        let ctr = ScanCounters::default();
         let query_sig = query.signature(&self.cfg);
-        let positions = self.positions_for(query, &query_sig)?;
-        self.resolve(positions)
+        let positions = self.positions_for(query, &query_sig, &ctr)?;
+        let set = self.resolve(positions, &ctr)?;
+        let stats = ctr.stats();
+        if let Some(o) = obs {
+            o.finish(query, self.outcome(None, &ctr, &set));
+        }
+        Ok((set, Some(stats)))
     }
 
     fn indexed_count(&self) -> u64 {
@@ -646,10 +716,6 @@ impl SetAccessFacility for Bssf {
 
     fn cache_stats(&self) -> Option<setsig_pagestore::CacheStats> {
         self.pool.as_ref().map(|p| p.stats())
-    }
-
-    fn scan_stats(&self) -> Option<ScanStats> {
-        Some(self.last_scan_stats())
     }
 }
 
@@ -861,10 +927,11 @@ mod tests {
         // Query with 5 elements, smart cap at 2: at most 2·m slices read.
         let q = SetQuery::has_subset((0..5).map(|j| ElementKey::from(7u64 * 11 + j)).collect());
         disk.reset_stats();
-        let c = b.candidates_superset_smart(&q, 2).unwrap();
+        let (c, stats) = b.candidates_superset_smart(&q, 2).unwrap();
         assert!(c.oids.contains(&Oid::new(7)));
         let s = disk.snapshot();
         assert!(s.reads <= 2 * 2 + 1, "smart read {} pages", s.reads);
+        assert_eq!(s.reads, stats.logical_pages);
     }
 
     #[test]
@@ -875,11 +942,12 @@ mod tests {
         }
         let q = SetQuery::in_subset(vec![ElementKey::from(3u64)]);
         disk.reset_stats();
-        let c = b.candidates_subset_smart(&q, 10).unwrap();
+        let (c, stats) = b.candidates_subset_smart(&q, 10).unwrap();
         // Sound: the true match is still a drop.
         assert!(c.oids.contains(&Oid::new(3)));
         let s = disk.snapshot();
         assert!(s.reads <= 10 + 1, "smart read {} pages", s.reads);
+        assert_eq!(s.reads, stats.logical_pages);
     }
 
     #[test]
@@ -1002,8 +1070,8 @@ mod engine_tests {
         let (disk, b) = populated(128, 3, 120);
         let q = SetQuery::has_subset(vec![ElementKey::from(3 * 17), ElementKey::from(3 * 17 + 1)]);
         disk.reset_stats();
-        let _ = b.candidates(&q).unwrap();
-        let stats = b.last_scan_stats();
+        let (_, stats) = b.candidates_with_stats(&q).unwrap();
+        let stats = stats.unwrap();
         assert_eq!(
             stats.logical_pages, stats.physical_pages,
             "serial: no speculation"
@@ -1020,10 +1088,10 @@ mod engine_tests {
         par.set_parallelism(8);
         assert_eq!(par.parallelism(), 8);
         for q in queries() {
-            let cs = serial.candidates(&q).unwrap();
-            let ss = serial.last_scan_stats();
-            let cp = par.candidates(&q).unwrap();
-            let sp = par.last_scan_stats();
+            let (cs, ss) = serial.candidates_with_stats(&q).unwrap();
+            let ss = ss.unwrap();
+            let (cp, sp) = par.candidates_with_stats(&q).unwrap();
+            let sp = sp.unwrap();
             assert_eq!(
                 cs, cp,
                 "candidate sets must be identical ({:?})",
@@ -1050,8 +1118,8 @@ mod engine_tests {
                 .map(|j| ElementKey::from(700_000 + j))
                 .collect::<Vec<ElementKey>>(),
         );
-        let _ = b.candidates(&q).unwrap();
-        let s = b.last_scan_stats();
+        let (_, s) = b.candidates_with_stats(&q).unwrap();
+        let s = s.unwrap();
         assert!(s.physical_pages >= s.logical_pages);
         // window = 2·threads slices, 1 page each at this size.
         assert!(
@@ -1070,11 +1138,9 @@ mod engine_tests {
             b.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
         }
         let q = SetQuery::has_subset(vec![ElementKey::from(7u64)]);
-        let first = b.candidates(&q).unwrap();
-        let first_stats = b.last_scan_stats();
+        let (first, first_stats) = b.candidates_with_stats(&q).unwrap();
         disk.reset_stats();
-        let second = b.candidates(&q).unwrap();
-        let second_stats = b.last_scan_stats();
+        let (second, second_stats) = b.candidates_with_stats(&q).unwrap();
         assert_eq!(first, second);
         // Logical accounting is cache-independent...
         assert_eq!(first_stats, second_stats);
@@ -1115,9 +1181,10 @@ mod engine_tests {
             SetQuery::has_subset(vec![ElementKey::from(42u64)]),
             SetQuery::in_subset(vec![ElementKey::from(1u64), ElementKey::from(2u64)]),
         ] {
-            assert_eq!(serial.candidates(&q).unwrap(), par.candidates(&q).unwrap());
-            let (ss, sp) = (serial.last_scan_stats(), par.last_scan_stats());
-            assert_eq!(ss.logical_pages, sp.logical_pages);
+            let (cs, ss) = serial.candidates_with_stats(&q).unwrap();
+            let (cp, sp) = par.candidates_with_stats(&q).unwrap();
+            assert_eq!(cs, cp);
+            assert_eq!(ss.unwrap().logical_pages, sp.unwrap().logical_pages);
         }
     }
 }
@@ -1168,7 +1235,7 @@ impl Bssf {
             meta_file: Some(meta_file),
             threads: 1,
             pool: None,
-            scan: ScanCounters::default(),
+            obs: None,
         })
     }
 }

@@ -20,6 +20,10 @@ pub enum Error {
     NoSuchEntry(u64),
     /// The OID was not found (e.g. deleting a value that was never inserted).
     OidNotFound(crate::Oid),
+    /// An on-disk structure is inconsistent with the catalog state (e.g. a
+    /// frame file shorter than the indexed row count requires). Scans must
+    /// refuse to run rather than silently return a partial answer.
+    Corrupted(String),
     /// An error from the underlying page store.
     Storage(setsig_pagestore::Error),
 }
@@ -37,6 +41,7 @@ impl std::fmt::Display for Error {
             }
             Error::NoSuchEntry(pos) => write!(f, "no entry at position {pos}"),
             Error::OidNotFound(oid) => write!(f, "oid {oid:?} not found"),
+            Error::Corrupted(msg) => write!(f, "corrupted structure: {msg}"),
             Error::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

@@ -6,9 +6,9 @@ use crate::oid::Oid;
 use crate::query::SetQuery;
 use setsig_pagestore::CacheStats;
 
-/// Page-access accounting for the most recent filtering stage of a
-/// signature-file scan engine, including the OID-file look-up that maps
-/// matching signature positions to candidate OIDs (the paper's `LC_OID`).
+/// Page-access accounting for the filtering stage of one signature-file
+/// scan, including the OID-file look-up that maps matching signature
+/// positions to candidate OIDs (the paper's `LC_OID`).
 ///
 /// The *logical* count is what the paper's serial protocol charges — it is
 /// identical whether the engine runs serially or fans slice fetches across
@@ -25,30 +25,42 @@ pub struct ScanStats {
     pub physical_pages: u64,
 }
 
-/// Interior-mutable page counters behind [`ScanStats`], shared by the SSF
-/// and BSSF scan engines.
+/// Interior-mutable page counters behind [`ScanStats`], shared by the SSF,
+/// BSSF and FSSF scan engines.
 ///
-/// Counters are reset at each public `candidates*` entry, so the values are
-/// meaningful for non-overlapping queries; concurrent queries on a shared
-/// facility interleave their counts.
+/// A fresh instance is created for **each** `candidates*` call and threaded
+/// down the scan path, so every query owns its counters outright: the
+/// atomics exist only to let one query's scan workers charge pages
+/// concurrently, never to share state between queries. Besides the page
+/// counts the counters carry two trace facts — slices (or frames) touched
+/// and whether the scan exited early — that the observability layer turns
+/// into [`QueryTrace`](setsig_obs::QueryTrace) fields.
 #[derive(Debug, Default)]
 pub(crate) struct ScanCounters {
     pub(crate) logical: std::sync::atomic::AtomicU64,
     pub(crate) physical: std::sync::atomic::AtomicU64,
+    pub(crate) slices: std::sync::atomic::AtomicU64,
+    pub(crate) early_exit: std::sync::atomic::AtomicBool,
 }
 
 impl ScanCounters {
-    pub(crate) fn reset(&self) {
-        use std::sync::atomic::Ordering;
-        self.logical.store(0, Ordering::Relaxed);
-        self.physical.store(0, Ordering::Relaxed);
-    }
-
     /// Charges pages read on a non-speculative path (logical == physical).
     pub(crate) fn charge_both(&self, pages: u64) {
         use std::sync::atomic::Ordering;
         self.logical.fetch_add(pages, Ordering::Relaxed);
         self.physical.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Notes `n` slices/frames touched by the scan (trace-only fact).
+    pub(crate) fn note_slices(&self, n: u64) {
+        use std::sync::atomic::Ordering;
+        self.slices.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks that the scan stopped before its slice/page budget.
+    pub(crate) fn mark_early_exit(&self) {
+        use std::sync::atomic::Ordering;
+        self.early_exit.store(true, Ordering::Relaxed);
     }
 
     pub(crate) fn stats(&self) -> ScanStats {
@@ -57,6 +69,15 @@ impl ScanCounters {
             logical_pages: self.logical.load(Ordering::Relaxed),
             physical_pages: self.physical.load(Ordering::Relaxed),
         }
+    }
+
+    /// The trace facts: `(slices touched, early exit)`.
+    pub(crate) fn probe(&self) -> (u64, bool) {
+        use std::sync::atomic::Ordering;
+        (
+            self.slices.load(Ordering::Relaxed),
+            self.early_exit.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -96,10 +117,10 @@ impl CandidateSet {
 /// given a set predicate, produces candidate objects far cheaper than a
 /// database scan.
 ///
-/// Implemented by [`Ssf`](crate::Ssf), [`Bssf`](crate::Bssf), and the nested
-/// index `Nix` in `setsig-nix`. The contract is **no false negatives**:
-/// every object whose stored set satisfies the predicate must appear in the
-/// candidates.
+/// Implemented by [`Ssf`](crate::Ssf), [`Bssf`](crate::Bssf),
+/// [`Fssf`](crate::Fssf), and the nested index `Nix` in `setsig-nix`. The
+/// contract is **no false negatives**: every object whose stored set
+/// satisfies the predicate must appear in the candidates.
 pub trait SetAccessFacility {
     /// Short organization name ("SSF", "BSSF", "NIX") used in reports.
     fn name(&self) -> &'static str;
@@ -114,8 +135,20 @@ pub trait SetAccessFacility {
     /// facility.
     fn delete(&mut self, oid: Oid, set: &[ElementKey]) -> Result<()>;
 
-    /// Runs the filtering stage for `query`, returning the drops.
-    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet>;
+    /// Runs the filtering stage for `query`, returning the drops together
+    /// with that call's page accounting.
+    ///
+    /// The [`ScanStats`] belong to this call alone — the counters live on
+    /// the query's own stack frame, so concurrent queries on one shared
+    /// facility each observe exactly their own counts. Facilities whose
+    /// scan engine does not track page accounting (the nested index, whose
+    /// cost is the B-tree look-ups) return `None`.
+    fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)>;
+
+    /// Runs the filtering stage for `query`, returning just the drops.
+    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+        Ok(self.candidates_with_stats(query)?.0)
+    }
 
     /// Number of objects currently indexed.
     fn indexed_count(&self) -> u64;
@@ -128,15 +161,6 @@ pub trait SetAccessFacility {
     /// routed through one ([`BufferPool`](setsig_pagestore::BufferPool));
     /// `None` for uncached facilities.
     fn cache_stats(&self) -> Option<CacheStats> {
-        None
-    }
-
-    /// Page accounting for the most recent `candidates*` call, when the
-    /// facility's scan engine tracks it; `None` otherwise. The logical
-    /// count is the paper's serial protocol charge regardless of engine
-    /// parallelism or buffering, so measurement harnesses should prefer it
-    /// over raw disk deltas.
-    fn scan_stats(&self) -> Option<ScanStats> {
         None
     }
 }
@@ -159,5 +183,22 @@ mod tests {
         let c = CandidateSet::new(vec![], true);
         assert!(c.is_empty());
         assert!(c.exact);
+    }
+
+    #[test]
+    fn per_call_counters_track_pages_and_trace_facts() {
+        let ctr = ScanCounters::default();
+        ctr.charge_both(3);
+        ctr.note_slices(2);
+        assert_eq!(
+            ctr.stats(),
+            ScanStats {
+                logical_pages: 3,
+                physical_pages: 3
+            }
+        );
+        assert_eq!(ctr.probe(), (2, false));
+        ctr.mark_early_exit();
+        assert_eq!(ctr.probe(), (2, true));
     }
 }

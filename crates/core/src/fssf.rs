@@ -28,10 +28,11 @@ use std::sync::Arc;
 use crate::bitmap::Bitmap;
 use crate::element::ElementKey;
 use crate::error::{Error, Result};
-use crate::facility::{CandidateSet, SetAccessFacility};
+use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
 use crate::hash::{element_hash, ElementHasher};
 use crate::oid::Oid;
 use crate::oidfile::OidFile;
+use crate::qtrace::{QueryObs, QueryOutcome};
 use crate::query::{SetPredicate, SetQuery};
 
 /// Design parameters of a frame-sliced signature file.
@@ -118,6 +119,9 @@ pub struct Fssf {
     oid_file: OidFile,
     /// Catalog checkpoint file; created lazily by [`Fssf::sync_meta`].
     meta_file: Option<PagedFile>,
+    /// Observability recorder; `None` (the default) keeps the query path
+    /// free of any clock or metrics work.
+    obs: Option<Arc<setsig_obs::Recorder>>,
 }
 
 impl Fssf {
@@ -131,7 +135,16 @@ impl Fssf {
             frames,
             oid_file: OidFile::create(io, &format!("{name}.oid")),
             meta_file: None,
+            obs: None,
         })
+    }
+
+    /// Attaches (or with `None`, detaches) an observability recorder.
+    /// Attached, every `candidates*` call emits a
+    /// [`QueryTrace`](setsig_obs::QueryTrace) and updates the `fssf.*`
+    /// metrics; detached, the query path does no observability work at all.
+    pub fn set_recorder(&mut self, rec: Option<Arc<setsig_obs::Recorder>>) {
+        self.obs = rec;
     }
 
     /// The design parameters.
@@ -167,41 +180,48 @@ impl Fssf {
     }
 
     /// Reads frame `j` and invokes `visit(row, row_bits)` for every stored
-    /// row. Costs one read per materialized frame page; missing tail pages
-    /// are known-zero.
-    fn scan_frame(&self, j: u32, mut visit: impl FnMut(u64, &Bitmap)) -> Result<()> {
+    /// row, charging one read per frame page to `ctr`.
+    ///
+    /// [`Fssf::insert`] keeps every frame file long enough for the indexed
+    /// row count, so a frame shorter than `⌈n/rpp⌉` pages can only mean the
+    /// file was truncated or the catalog is stale. The scan refuses to run
+    /// — treating missing pages as zeros would silently drop qualifying
+    /// rows, violating the facility's no-false-negatives contract.
+    fn scan_frame(
+        &self,
+        j: u32,
+        ctr: &ScanCounters,
+        mut visit: impl FnMut(u64, &Bitmap),
+    ) -> Result<()> {
         let n = self.oid_file.len();
         let s = self.cfg.frame_bits() as usize;
         let rpp = self.cfg.rows_per_page();
         let file = &self.frames[j as usize];
         let have = file.len()?;
-        let npages = (n.div_ceil(rpp) as u32).min(have);
-        let zero = Bitmap::zeroed(s as u32);
+        let expected = n.div_ceil(rpp) as u32;
+        if have < expected {
+            return Err(Error::Corrupted(format!(
+                "frame {j} has {have} pages but {n} indexed rows require {expected}"
+            )));
+        }
+        ctr.note_slices(1);
         let mut page_no = 0u32;
         let mut row = 0u64;
         while row < n {
-            if page_no < npages {
-                let page = file.read(page_no)?;
-                let rows_here = (n - row).min(rpp);
-                for r in 0..rows_here {
-                    let base = r as usize * s;
-                    let mut bits = Bitmap::zeroed(s as u32);
-                    for b in 0..s {
-                        if page.get_bit(base + b) {
-                            bits.set(b as u32, true);
-                        }
+            let page = file.read(page_no)?;
+            ctr.charge_both(1);
+            let rows_here = (n - row).min(rpp);
+            for r in 0..rows_here {
+                let base = r as usize * s;
+                let mut bits = Bitmap::zeroed(s as u32);
+                for b in 0..s {
+                    if page.get_bit(base + b) {
+                        bits.set(b as u32, true);
                     }
-                    visit(row + r, &bits);
                 }
-                row += rows_here;
-            } else {
-                // Sparse tail: all-zero rows, no I/O.
-                let rows_here = (n - row).min(rpp);
-                for r in 0..rows_here {
-                    visit(row + r, &zero);
-                }
-                row += rows_here;
+                visit(row + r, &bits);
             }
+            row += rows_here;
             page_no += 1;
         }
         Ok(())
@@ -209,22 +229,26 @@ impl Fssf {
 
     /// `T ⊇ Q`: read each distinct query frame once; a row survives iff in
     /// every such frame it covers the query's frame signature.
-    fn superset_positions(&self, query: &SetQuery) -> Result<Vec<u64>> {
+    fn superset_positions(&self, query: &SetQuery, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let by_frame = self.frame_signatures(&query.elements);
         if by_frame.is_empty() {
             return Ok((0..n).collect());
         }
+        let total = by_frame.len();
         let mut acc = Bitmap::ones(n as u32);
-        for (j, want) in by_frame {
+        for (consumed, (j, want)) in by_frame.into_iter().enumerate() {
             let mut frame_match = Bitmap::zeroed(n as u32);
-            self.scan_frame(j, |row, bits| {
+            self.scan_frame(j, ctr, |row, bits| {
                 if bits.covers(&want) {
                     frame_match.set(row as u32, true);
                 }
             })?;
             acc.and_assign(&frame_match);
             if acc.is_zero() {
+                if consumed + 1 < total {
+                    ctr.mark_early_exit();
+                }
                 break;
             }
         }
@@ -233,7 +257,7 @@ impl Fssf {
 
     /// `T ⊆ Q`: every frame must be read; a row survives iff each frame's
     /// row bits are covered by the query's bits in that frame.
-    fn subset_positions(&self, query: &SetQuery) -> Result<Vec<u64>> {
+    fn subset_positions(&self, query: &SetQuery, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let by_frame = self.frame_signatures(&query.elements);
         let s = self.cfg.frame_bits();
@@ -242,13 +266,16 @@ impl Fssf {
         for j in 0..self.cfg.frames() {
             let allowed = by_frame.get(&j).unwrap_or(&empty);
             let mut frame_match = Bitmap::zeroed(n as u32);
-            self.scan_frame(j, |row, bits| {
+            self.scan_frame(j, ctr, |row, bits| {
                 if allowed.covers(bits) {
                     frame_match.set(row as u32, true);
                 }
             })?;
             acc.and_assign(&frame_match);
             if acc.is_zero() {
+                if j + 1 < self.cfg.frames() {
+                    ctr.mark_early_exit();
+                }
                 break;
             }
         }
@@ -256,18 +283,18 @@ impl Fssf {
     }
 
     /// Equality: covers in both directions in every frame.
-    fn equals_positions(&self, query: &SetQuery) -> Result<Vec<u64>> {
+    fn equals_positions(&self, query: &SetQuery, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let sup: std::collections::BTreeSet<u64> =
-            self.superset_positions(query)?.into_iter().collect();
+            self.superset_positions(query, ctr)?.into_iter().collect();
         Ok(self
-            .subset_positions(query)?
+            .subset_positions(query, ctr)?
             .into_iter()
             .filter(|p| sup.contains(p))
             .collect())
     }
 
     /// Overlap: some query element's frame signature is covered by the row.
-    fn overlap_positions(&self, query: &SetQuery) -> Result<Vec<u64>> {
+    fn overlap_positions(&self, query: &SetQuery, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let mut acc = Bitmap::zeroed(n as u32);
         // Per element (not per frame): overlap needs one *element* fully
@@ -282,7 +309,7 @@ impl Fssf {
             by_frame.entry(self.cfg.frame_of(e)).or_default().push(bits);
         }
         for (j, sigs) in by_frame {
-            self.scan_frame(j, |row, bits| {
+            self.scan_frame(j, ctr, |row, bits| {
                 if sigs.iter().any(|sig| bits.covers(sig)) {
                     acc.set(row as u32, true);
                 }
@@ -291,7 +318,10 @@ impl Fssf {
         Ok(acc.iter_ones().map(u64::from).collect())
     }
 
-    fn resolve(&self, positions: Vec<u64>) -> Result<CandidateSet> {
+    fn resolve(&self, positions: Vec<u64>, ctr: &ScanCounters) -> Result<CandidateSet> {
+        // The OID look-up is part of the filtering stage's protocol charge
+        // (the paper's LC_OID).
+        ctr.charge_both(OidFile::pages_touched(&positions));
         let resolved = self.oid_file.lookup_positions(&positions)?;
         Ok(CandidateSet::new(
             resolved.into_iter().map(|(_, oid)| oid).collect(),
@@ -307,15 +337,23 @@ impl SetAccessFacility for Fssf {
 
     /// Insertion — the organization's raison d'être: one page write per
     /// *distinct frame* the set's elements hash to, plus the OID file.
+    ///
+    /// Every frame file — not just the ones this set's elements hash to —
+    /// is kept long enough for the new row, so [`Fssf::scan_frame`] can
+    /// treat a short frame as corruption rather than guessing its tail is
+    /// zeros. The extension writes happen only when a row crosses a page
+    /// boundary (once per `rows_per_page` inserts), so the amortized cost
+    /// stays ≈ `D_t + 1`.
     fn insert(&mut self, oid: Oid, set: &[ElementKey]) -> Result<()> {
         let pos = self.oid_file.len();
         let (page_no, bit_base) = self.row_location(pos);
-        for (j, bits) in self.frame_signatures(set) {
-            let file = &self.frames[j as usize];
+        for file in &self.frames {
             if file.len()? <= page_no {
                 file.extend_to(page_no + 1)?;
             }
-            file.update(page_no, |page| {
+        }
+        for (j, bits) in self.frame_signatures(set) {
+            self.frames[j as usize].update(page_no, |page| {
                 for b in bits.iter_ones() {
                     page.set_bit(bit_base + b as usize, true);
                 }
@@ -331,14 +369,34 @@ impl SetAccessFacility for Fssf {
         Ok(())
     }
 
-    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
+    fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
+        let obs = QueryObs::start(&self.obs, || self.cache_stats());
+        let ctr = ScanCounters::default();
         let positions = match query.predicate {
-            SetPredicate::HasSubset | SetPredicate::Contains => self.superset_positions(query)?,
-            SetPredicate::InSubset => self.subset_positions(query)?,
-            SetPredicate::Equals => self.equals_positions(query)?,
-            SetPredicate::Overlaps => self.overlap_positions(query)?,
+            SetPredicate::HasSubset | SetPredicate::Contains => {
+                self.superset_positions(query, &ctr)?
+            }
+            SetPredicate::InSubset => self.subset_positions(query, &ctr)?,
+            SetPredicate::Equals => self.equals_positions(query, &ctr)?,
+            SetPredicate::Overlaps => self.overlap_positions(query, &ctr)?,
         };
-        self.resolve(positions)
+        let set = self.resolve(positions, &ctr)?;
+        let stats = ctr.stats();
+        if let Some(o) = obs {
+            o.finish(
+                query,
+                QueryOutcome {
+                    facility: "fssf",
+                    strategy: None,
+                    geometry: Some((self.cfg.f_bits(), self.cfg.m_weight())),
+                    ctr: Some(&ctr),
+                    track_slices: true,
+                    set: &set,
+                    cache_after: self.cache_stats(),
+                },
+            );
+        }
+        Ok((set, Some(stats)))
     }
 
     fn indexed_count(&self) -> u64 {
@@ -471,10 +529,53 @@ mod tests {
         }
         let q = SetQuery::has_subset(vec![ElementKey::from(42u64)]);
         disk.reset_stats();
-        let c = f.candidates(&q).unwrap();
+        let (c, stats) = f.candidates_with_stats(&q).unwrap();
         assert!(c.oids.contains(&Oid::new(42)));
         // 1 frame × 1 page + 1 OID page.
         assert_eq!(disk.snapshot().reads, 2);
+        // The per-query stats charge exactly the disk traffic.
+        let stats = stats.unwrap();
+        assert_eq!(stats.logical_pages, 2);
+        assert_eq!(stats.physical_pages, 2);
+    }
+
+    #[test]
+    fn short_frame_file_is_reported_as_corruption() {
+        // k = 1, s = 160 → 204 rows per frame page. Grow the OID file past
+        // one page's worth of rows WITHOUT extending the frame (as a
+        // truncated or stale frame file would look) and every scan must
+        // refuse to run rather than treat the missing page as zeros.
+        let (_d, mut f) = fssf(160, 1, 2);
+        f.insert(Oid::new(0), &[ElementKey::from(0u64)]).unwrap();
+        for i in 1..=210u64 {
+            f.oid_file.append(Oid::new(i)).unwrap();
+        }
+        let q = SetQuery::has_subset(vec![ElementKey::from(0u64)]);
+        match f.candidates(&q) {
+            Err(Error::Corrupted(msg)) => {
+                assert!(msg.contains("frame 0"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+        // A subset scan (which visits every frame) refuses too.
+        let q = SetQuery::in_subset(vec![ElementKey::from(0u64)]);
+        assert!(matches!(f.candidates(&q), Err(Error::Corrupted(_))));
+    }
+
+    #[test]
+    fn insert_keeps_every_frame_long_enough() {
+        let (_d, mut f) = fssf(500, 50, 3);
+        for i in 0..10u64 {
+            f.insert(Oid::new(i), &[ElementKey::from(i)]).unwrap();
+        }
+        let rpp = f.config().rows_per_page();
+        let expected = 10u64.div_ceil(rpp) as u32;
+        for (j, file) in f.frames.iter().enumerate() {
+            assert!(
+                file.len().unwrap() >= expected,
+                "frame {j} shorter than the indexed row count requires"
+            );
+        }
     }
 
     #[test]
@@ -605,6 +706,7 @@ impl Fssf {
             frames,
             oid_file: OidFile::reopen(PagedFile::open(io, oid_id), len, live),
             meta_file: Some(meta_file),
+            obs: None,
         })
     }
 }

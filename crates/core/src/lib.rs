@@ -76,6 +76,7 @@ mod hash;
 mod meta;
 mod oid;
 mod oidfile;
+mod qtrace;
 mod query;
 mod signature;
 mod ssf;

@@ -21,6 +21,7 @@ use crate::error::{Error, Result};
 use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
 use crate::oid::Oid;
 use crate::oidfile::OidFile;
+use crate::qtrace::{QueryObs, QueryOutcome};
 use crate::query::{SetPredicate, SetQuery};
 use crate::signature::Signature;
 
@@ -38,7 +39,9 @@ pub struct Ssf {
     /// The buffer pool signature reads are routed through when built via
     /// [`Ssf::create_cached`].
     pool: Option<Arc<BufferPool>>,
-    scan: ScanCounters,
+    /// Optional observability recorder; `None` (the default) disables all
+    /// tracing/metrics work on the query path.
+    obs: Option<Arc<setsig_obs::Recorder>>,
 }
 
 impl Ssf {
@@ -61,7 +64,7 @@ impl Ssf {
             meta_file: None,
             threads: 1,
             pool: None,
-            scan: ScanCounters::default(),
+            obs: None,
         })
     }
 
@@ -99,10 +102,12 @@ impl Ssf {
         self.pool.as_ref()
     }
 
-    /// Page-access accounting of the most recent filtering scan. SSF has
-    /// no speculative path, so `logical_pages == physical_pages` always.
-    pub fn last_scan_stats(&self) -> ScanStats {
-        self.scan.stats()
+    /// Attaches (or with `None` detaches) an observability recorder. With
+    /// a recorder attached, every `candidates*` call emits a
+    /// [`QueryTrace`](setsig_obs::QueryTrace) and updates the recorder's
+    /// metrics; without one, the query path does no observability work.
+    pub fn set_recorder(&mut self, rec: Option<Arc<setsig_obs::Recorder>>) {
+        self.obs = rec;
     }
 
     /// The signature design parameters.
@@ -183,16 +188,26 @@ impl Ssf {
     /// worker threads and the per-page hit lists are merged in page order,
     /// so the result is byte-identical to the serial scan.
     pub fn scan_matching_positions(&self, query: &SetQuery) -> Result<Vec<u64>> {
+        self.scan_matching_positions_counted(query, &ScanCounters::default())
+    }
+
+    /// [`Ssf::scan_matching_positions`] charging its page accounting to
+    /// `ctr` — the query-owned counters of the calling `candidates*` frame.
+    fn scan_matching_positions_counted(
+        &self,
+        query: &SetQuery,
+        ctr: &ScanCounters,
+    ) -> Result<Vec<u64>> {
         let query_sig = query.signature(&self.cfg);
         let total = self.oid_file.len();
         let npages = self.sig_file.len()?;
         if self.threads > 1 && npages > 1 {
-            return self.scan_parallel(query, &query_sig, total, npages);
+            return self.scan_parallel(query, &query_sig, total, npages, ctr);
         }
         let mut positions = Vec::new();
         for page_no in 0..npages {
             self.scan_page(query, &query_sig, total, page_no, &mut positions)?;
-            self.scan.charge_both(1);
+            ctr.charge_both(1);
         }
         Ok(positions)
     }
@@ -234,6 +249,7 @@ impl Ssf {
         query_sig: &Signature,
         total: u64,
         npages: u32,
+        ctr: &ScanCounters,
     ) -> Result<Vec<u64>> {
         /// A worker's `(page, hits)` lists plus its page count.
         type WorkerScan = Result<(Vec<(u32, Vec<u64>)>, u64)>;
@@ -267,7 +283,7 @@ impl Ssf {
             let mut per_page: Vec<(u32, Vec<u64>)> = Vec::with_capacity(npages as usize);
             for h in handles {
                 let (local, pages) = h.join().expect("scan worker panicked")?;
-                self.scan.charge_both(pages);
+                ctr.charge_both(pages);
                 per_page.extend(local);
             }
             per_page.sort_unstable_by_key(|&(p, _)| p);
@@ -352,17 +368,31 @@ impl SetAccessFacility for Ssf {
         Ok(())
     }
 
-    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
-        self.scan.reset();
-        let positions = self.scan_matching_positions(query)?;
+    fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
+        let obs = QueryObs::start(&self.obs, || self.cache_stats());
+        let ctr = ScanCounters::default();
+        let positions = self.scan_matching_positions_counted(query, &ctr)?;
         // The OID look-up is part of the filtering stage's protocol charge
         // (the paper's LC_OID); it is never speculative or parallel.
-        self.scan.charge_both(OidFile::pages_touched(&positions));
+        ctr.charge_both(OidFile::pages_touched(&positions));
         let resolved = self.oid_file.lookup_positions(&positions)?;
-        Ok(CandidateSet::new(
-            resolved.into_iter().map(|(_, oid)| oid).collect(),
-            false,
-        ))
+        let set = CandidateSet::new(resolved.into_iter().map(|(_, oid)| oid).collect(), false);
+        let stats = ctr.stats();
+        if let Some(o) = obs {
+            o.finish(
+                query,
+                QueryOutcome {
+                    facility: "ssf",
+                    strategy: None,
+                    geometry: Some((self.cfg.f_bits(), self.cfg.m_weight())),
+                    ctr: Some(&ctr),
+                    track_slices: false,
+                    set: &set,
+                    cache_after: self.cache_stats(),
+                },
+            );
+        }
+        Ok((set, Some(stats)))
     }
 
     fn indexed_count(&self) -> u64 {
@@ -375,10 +405,6 @@ impl SetAccessFacility for Ssf {
 
     fn cache_stats(&self) -> Option<setsig_pagestore::CacheStats> {
         self.pool.as_ref().map(|p| p.stats())
-    }
-
-    fn scan_stats(&self) -> Option<ScanStats> {
-        Some(self.last_scan_stats())
     }
 }
 
@@ -621,10 +647,10 @@ mod engine_tests {
         par.set_parallelism(8);
         assert_eq!(par.parallelism(), 8);
         for q in probes() {
-            let cs = serial.candidates(&q).unwrap();
-            let ss = serial.last_scan_stats();
-            let cp = par.candidates(&q).unwrap();
-            let sp = par.last_scan_stats();
+            let (cs, ss) = serial.candidates_with_stats(&q).unwrap();
+            let ss = ss.unwrap();
+            let (cp, sp) = par.candidates_with_stats(&q).unwrap();
+            let sp = sp.unwrap();
             assert_eq!(cs, cp, "candidates diverged ({:?})", q.predicate);
             assert_eq!(ss, sp, "page accounting diverged ({:?})", q.predicate);
             assert_eq!(sp.logical_pages, sp.physical_pages, "SSF never speculates");
@@ -636,8 +662,8 @@ mod engine_tests {
         let (disk, s) = populated(500, 4, 300);
         let q = SetQuery::has_subset(vec![ElementKey::from(999_999u64)]);
         disk.reset_stats();
-        let _ = s.candidates(&q).unwrap();
-        let stats = s.last_scan_stats();
+        let (_, stats) = s.candidates_with_stats(&q).unwrap();
+        let stats = stats.unwrap();
         let sig = s.signature_pages().unwrap();
         // Scan pages plus at most one OID page of (unlikely) false drops.
         assert!(stats.logical_pages >= sig && stats.logical_pages <= sig + 1);
@@ -671,6 +697,38 @@ mod engine_tests {
     fn uncached_ssf_reports_no_cache_stats() {
         let (_d, s) = populated(64, 2, 5);
         assert!(s.cache_stats().is_none());
+    }
+
+    #[test]
+    fn attached_recorder_traces_each_query() {
+        let (_d, mut s) = populated(128, 2, 50);
+        let ring = Arc::new(setsig_obs::RingSink::new(16));
+        let rec = Arc::new(
+            setsig_obs::Recorder::new()
+                .with_sink(Arc::clone(&ring) as Arc<dyn setsig_obs::TraceSink>),
+        );
+        s.set_recorder(Some(Arc::clone(&rec)));
+        let q = SetQuery::has_subset(vec![ElementKey::from(0u64), ElementKey::from(1u64)]);
+        let (set, stats) = s.candidates_with_stats(&q).unwrap();
+        let stats = stats.unwrap();
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.facility, "ssf");
+        assert_eq!(ev.predicate, "HasSubset");
+        assert_eq!(ev.d_q, 2);
+        assert_eq!(ev.f_bits, Some(128));
+        assert_eq!(ev.logical_pages, Some(stats.logical_pages));
+        assert_eq!(ev.physical_pages, Some(stats.physical_pages));
+        assert_eq!(ev.candidates, set.len() as u64);
+        assert_eq!(ev.slices_touched, None, "SSF row scans touch no slices");
+        let snap = rec.registry().snapshot();
+        assert_eq!(snap.get_counter("ssf.queries"), Some(1));
+        // Detached again: no further events, identical answers.
+        s.set_recorder(None);
+        let again = s.candidates(&q).unwrap();
+        assert_eq!(again, set);
+        assert_eq!(ring.len(), 1);
     }
 }
 
@@ -718,7 +776,7 @@ impl Ssf {
             meta_file: Some(meta_file),
             threads: 1,
             pool: None,
-            scan: ScanCounters::default(),
+            obs: None,
         })
     }
 }

@@ -36,6 +36,36 @@ proptest! {
         prop_assert_eq!(back, bm);
     }
 
+    /// Garbage bits past `nbits` in a serialized buffer never leak into the
+    /// bitmap: `from_bytes` and `or_assign_bytes` mask the tail, so widths
+    /// with `nbits % 8 != 0` behave exactly like byte-aligned ones.
+    #[test]
+    fn bitmap_bytes_mask_garbage_tail(
+        nbits in 1u32..300,
+        seed_positions in proptest::collection::vec(0u32..300, 0..40),
+        garbage in 0u8..=255,
+    ) {
+        let positions: Vec<u32> = seed_positions.into_iter().filter(|&p| p < nbits).collect();
+        let bm = Bitmap::from_positions(nbits, &positions);
+        let mut bytes = bm.to_bytes();
+        // Smear garbage over the final byte's unused high bits.
+        let rem = (nbits % 8) as usize;
+        if rem != 0 {
+            if let Some(last) = bytes.last_mut() {
+                *last |= garbage << rem;
+            }
+        }
+        let back = Bitmap::from_bytes(nbits, &bytes);
+        prop_assert_eq!(&back, &bm);
+        prop_assert_eq!(back.count_ones(), positions.iter().collect::<std::collections::BTreeSet<_>>().len() as u32);
+        // OR-ing dirty bytes into a clean bitmap must not leak tail bits
+        // either (is_zero and count_ones read raw words).
+        let mut acc = Bitmap::zeroed(nbits);
+        acc.or_assign_bytes(&bytes);
+        prop_assert_eq!(&acc, &bm);
+        prop_assert_eq!(acc.is_zero(), positions.is_empty());
+    }
+
     /// Superimposed coding is sound: if T ⊇ Q as sets then the signatures
     /// match, for any F, m, and sets — the no-false-negative guarantee.
     #[test]
@@ -152,13 +182,13 @@ proptest! {
         let qelems = keys(&query_raw.iter().copied().collect::<Vec<_>>());
         let q_sup = SetQuery::has_subset(qelems.clone());
         let plain = bssf.candidates(&q_sup).unwrap();
-        let smart = bssf.candidates_superset_smart(&q_sup, cap).unwrap();
+        let (smart, _) = bssf.candidates_superset_smart(&q_sup, cap).unwrap();
         for oid in &plain.oids {
             prop_assert!(smart.oids.contains(oid));
         }
         let q_sub = SetQuery::in_subset(qelems);
         let plain = bssf.candidates(&q_sub).unwrap();
-        let smart = bssf.candidates_subset_smart(&q_sub, cap * 8).unwrap();
+        let (smart, _) = bssf.candidates_subset_smart(&q_sub, cap * 8).unwrap();
         for oid in &plain.oids {
             prop_assert!(smart.oids.contains(oid));
         }

@@ -85,6 +85,12 @@ fn main() {
                         id
                     );
                 }
+                if let Err(e) = exhibit.write_artifacts(&out_dir) {
+                    eprintln!(
+                        "warning: failed to write {} observability artifacts: {e}",
+                        id
+                    );
+                }
             }
             None => {
                 eprintln!("unknown exhibit {id:?} — run `repro list`");

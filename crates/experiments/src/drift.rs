@@ -1,0 +1,288 @@
+//! Drift reporter: measured page counts vs. the analytical cost model.
+//!
+//! Every exhibit prints model and measured columns side by side, but
+//! nothing *enforced* their agreement — a regression in the scan path (or
+//! in the model) would only show up to a human reading the tables. This
+//! module runs a small, fixed checkpoint per measured exhibit family and
+//! flags any point where the two diverge beyond tolerance. CI runs it via
+//! the `report-metrics` binary.
+//!
+//! ## Tolerance
+//!
+//! The comparison is two-sided and deliberately loose:
+//!
+//! * a multiplicative factor [`DriftReport::TOLERANCE`] — the models are
+//!   expectations over random signatures while a run measures one seeded
+//!   instance, and the implementation's early exits legitimately undercut
+//!   the closed forms (e.g. BSSF stops ANDing slices once the accumulator
+//!   empties, which Eq. (8) does not model);
+//! * an additive slack of [`DriftReport::SLACK`] pages — at small `--scale`
+//!   the absolute counts are tens of pages, where rounding and OID-file
+//!   look-ups dominate any ratio.
+//!
+//! A point drifts only if it escapes *both* allowances in either
+//! direction. That still catches the failure modes that matter: a scan
+//! reading entire files instead of slices, double-charged pages, or a
+//! model edit that shifts a curve by an order of magnitude.
+
+use setsig_core::{ElementKey, SetQuery};
+use setsig_costmodel::{BssfModel, FssfModel, NixModel, SsfModel};
+
+use crate::exhibits::Options;
+use crate::report::Exhibit;
+
+/// One model-vs-measured checkpoint.
+#[derive(Debug, Clone)]
+pub struct DriftPoint {
+    /// Exhibit family the checkpoint represents (`fig5`, `fig8`, …).
+    pub exhibit: &'static str,
+    /// Facility and strategy, e.g. `"bssf ⊇"`.
+    pub series: &'static str,
+    /// Query cardinality `D_q`.
+    pub d_q: u32,
+    /// The cost model's RC in pages.
+    pub model: f64,
+    /// Measured average total pages over the trials.
+    pub measured: f64,
+}
+
+impl DriftPoint {
+    /// Whether the point is within tolerance (see module docs).
+    pub fn within_tolerance(&self, factor: f64, slack: f64) -> bool {
+        let lo = (self.model / factor - slack).max(0.0);
+        let hi = self.model * factor + slack;
+        (lo..=hi).contains(&self.measured)
+    }
+}
+
+/// The full report: every checkpoint plus the tolerance it was judged by.
+#[derive(Debug)]
+pub struct DriftReport {
+    /// All checkpoints, in exhibit order.
+    pub points: Vec<DriftPoint>,
+    /// Observability artifacts of the run itself: the metrics snapshot and
+    /// the JSONL query trace, as `(file name, content)`.
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl DriftReport {
+    /// Multiplicative tolerance factor (either direction).
+    pub const TOLERANCE: f64 = 3.0;
+    /// Additive slack in pages (either direction).
+    pub const SLACK: f64 = 16.0;
+
+    /// Checkpoints that escaped the tolerance band.
+    pub fn drifted(&self) -> Vec<&DriftPoint> {
+        self.points
+            .iter()
+            .filter(|p| !p.within_tolerance(Self::TOLERANCE, Self::SLACK))
+            .collect()
+    }
+
+    /// True when every checkpoint is within tolerance.
+    pub fn ok(&self) -> bool {
+        self.drifted().is_empty()
+    }
+
+    /// Renders the report as an [`Exhibit`] table (id `drift`).
+    pub fn exhibit(&self) -> Exhibit {
+        let mut ex = Exhibit::new(
+            "drift",
+            "Model vs measured page counts per exhibit family",
+            vec![
+                "exhibit", "series", "D_q", "model", "measured", "ratio", "status",
+            ],
+        );
+        for p in &self.points {
+            let ratio = p.measured / p.model.max(f64::MIN_POSITIVE);
+            let ok = p.within_tolerance(Self::TOLERANCE, Self::SLACK);
+            ex.push_row(vec![
+                p.exhibit.to_owned(),
+                p.series.to_owned(),
+                p.d_q.to_string(),
+                Exhibit::fmt(p.model),
+                Exhibit::fmt(p.measured),
+                format!("{ratio:.2}"),
+                if ok { "ok" } else { "DRIFT" }.to_owned(),
+            ]);
+        }
+        ex.note(format!(
+            "tolerance: within {}x of the model ± {} pages, both directions; \
+             see crates/experiments/src/drift.rs for why the band is loose",
+            Self::TOLERANCE,
+            Self::SLACK
+        ));
+        ex.artifacts = self.artifacts.clone();
+        ex
+    }
+}
+
+/// Runs every checkpoint at the given scale and trial count.
+///
+/// Checkpoints (all at the paper's `D_t = 10` workload):
+/// * `fig5` — plain `T ⊇ Q` on BSSF (`F = 500, m = 2`) and NIX;
+/// * `fig8` — `T ⊆ Q` on SSF, BSSF and NIX (`F = 500, m = 2`);
+/// * `extorgs` — `T ⊇ Q` on FSSF (`F = 500, k = 50, m = 3`).
+pub fn run(scale: u64, trials: u32) -> DriftReport {
+    let opts = Options {
+        simulate: true,
+        scale: scale.max(1),
+        trials: trials.max(1),
+    };
+    let d_t = 10;
+    let p = opts.params();
+    let sim = crate::exhibits::obs_sim(&opts, d_t);
+    let mut points = Vec::new();
+
+    // fig5: plain superset, BSSF small m vs NIX.
+    {
+        let (f, m) = (500u32, 2u32);
+        let bssf = sim.build_bssf(f, m);
+        let nix = sim.build_nix();
+        let bssf_model = BssfModel::new(p, f, m, d_t);
+        let nix_model = NixModel::new(p, d_t);
+        for d_q in [1u32, 3] {
+            let mut qg = sim.query_gen(100 + d_q as u64);
+            let measured = sim.measure_avg(&bssf, opts.trials, |_| {
+                SetQuery::has_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect())
+            });
+            points.push(DriftPoint {
+                exhibit: "fig5",
+                series: "bssf ⊇",
+                d_q,
+                model: bssf_model.rc_superset(d_q),
+                measured,
+            });
+            let mut qg = sim.query_gen(100 + d_q as u64);
+            let measured = sim.measure_avg(&nix, opts.trials, |_| {
+                SetQuery::has_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect())
+            });
+            points.push(DriftPoint {
+                exhibit: "fig5",
+                series: "nix ⊇",
+                d_q,
+                model: nix_model.rc_superset(d_q),
+                measured,
+            });
+        }
+    }
+
+    // fig8: plain subset across all three paper facilities.
+    {
+        let (f, m) = (500u32, 2u32);
+        let ssf = sim.build_ssf(f, m);
+        let bssf = sim.build_bssf(f, m);
+        let nix = sim.build_nix();
+        let ssf_model = SsfModel::new(p, f, m, d_t);
+        let bssf_model = BssfModel::new(p, f, m, d_t);
+        let nix_model = NixModel::new(p, d_t);
+        let d_q = 50u32.min(p.v as u32);
+        for (series, model, facility) in [
+            (
+                "ssf ⊆",
+                ssf_model.rc_subset(d_q),
+                &ssf as &dyn setsig_core::SetAccessFacility,
+            ),
+            ("bssf ⊆", bssf_model.rc_subset(d_q), &bssf as _),
+            ("nix ⊆", nix_model.rc_subset(d_q), &nix as _),
+        ] {
+            let mut qg = sim.query_gen(800 + d_q as u64);
+            let measured = sim.measure_avg(facility, opts.trials, |_| {
+                SetQuery::in_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect())
+            });
+            points.push(DriftPoint {
+                exhibit: "fig8",
+                series,
+                d_q,
+                model,
+                measured,
+            });
+        }
+    }
+
+    // extorgs: frame-sliced superset.
+    {
+        let (f, k, m) = (500u32, 50u32, 3u32);
+        let fssf = sim.build_fssf(f, k, m);
+        let fssf_model = FssfModel::new(p, f, k, m, d_t);
+        let d_q = 3u32;
+        let mut qg = sim.query_gen(31);
+        let measured = sim.measure_avg(&fssf, opts.trials, |_| {
+            SetQuery::has_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect())
+        });
+        points.push(DriftPoint {
+            exhibit: "extorgs",
+            series: "fssf ⊇",
+            d_q,
+            model: fssf_model.rc_superset(d_q),
+            measured,
+        });
+    }
+
+    let mut artifacts = Vec::new();
+    if let Some(rec) = sim.recorder() {
+        let text = rec.registry().snapshot().render_text();
+        artifacts.push(("drift.metrics.txt".to_owned(), text));
+    }
+    if let Some(ring) = sim.trace_ring() {
+        let mut jsonl = String::new();
+        for ev in ring.drain() {
+            jsonl.push_str(&ev.to_json());
+            jsonl.push('\n');
+        }
+        artifacts.push(("drift.trace.jsonl".to_owned(), jsonl));
+    }
+    DriftReport { points, artifacts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_band_is_two_sided() {
+        let p = DriftPoint {
+            exhibit: "t",
+            series: "s",
+            d_q: 1,
+            model: 100.0,
+            measured: 100.0,
+        };
+        assert!(p.within_tolerance(3.0, 16.0));
+        let high = DriftPoint {
+            measured: 100.0 * 3.0 + 17.0,
+            ..p.clone()
+        };
+        assert!(!high.within_tolerance(3.0, 16.0));
+        let low = DriftPoint {
+            measured: 100.0 / 3.0 - 17.0,
+            ..p.clone()
+        };
+        assert!(!low.within_tolerance(3.0, 16.0));
+        // The slack keeps tiny absolute counts from tripping the ratio.
+        let tiny = DriftPoint {
+            model: 2.0,
+            measured: 14.0,
+            ..p
+        };
+        assert!(tiny.within_tolerance(3.0, 16.0));
+    }
+
+    #[test]
+    fn checkpoints_agree_with_the_model_at_small_scale() {
+        let report = run(64, 2);
+        assert_eq!(report.points.len(), 8);
+        assert!(
+            report.ok(),
+            "drifted: {:?}",
+            report
+                .drifted()
+                .iter()
+                .map(|p| format!(
+                    "{} {} D_q={} model={:.1} measured={:.1}",
+                    p.exhibit, p.series, p.d_q, p.model, p.measured
+                ))
+                .collect::<Vec<_>>()
+        );
+    }
+}

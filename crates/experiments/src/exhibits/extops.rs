@@ -10,7 +10,6 @@ use setsig_core::{ElementKey, SetAccessFacility, SetQuery};
 
 use super::Options;
 use crate::report::Exhibit;
-use crate::sim::SimDb;
 
 /// `extops`: measured retrieval cost (page accesses) per predicate per
 /// facility. Always simulated; honors `--scale`.
@@ -22,7 +21,7 @@ pub fn extops(opts: &Options) -> Exhibit {
         trials: opts.trials.max(3),
     };
     let d_t = 10;
-    let sim = SimDb::build(run.workload(d_t));
+    let sim = super::obs_sim(&run, d_t);
     let ssf = sim.build_ssf(500, 2);
     let bssf = sim.build_bssf(500, 2);
     let fssf = sim.build_fssf(500, 50, 3);
@@ -83,6 +82,7 @@ pub fn extops(opts: &Options) -> Exhibit {
         "measured on N = {}, V = {}, {} trials per point",
         p.n, p.v, run.trials
     ));
+    super::attach_observability(&mut ex, [&sim]);
     ex
 }
 

@@ -85,8 +85,8 @@ pub fn extorgs(opts: &Options) -> Exhibit {
     .map(|(label, vals)| (Box::leak(label.to_owned().into_boxed_str()) as &str, vals))
     .collect();
 
-    let measured: Option<Vec<[f64; 4]>> = opts.simulate.then(|| {
-        let sim = SimDb::build(opts.workload(d_t));
+    let measured: Option<(Vec<[f64; 4]>, SimDb)> = opts.simulate.then(|| {
+        let sim = super::obs_sim(opts, d_t);
         // This exhibit also measures update costs, which are defined on
         // the paper's serial, unbuffered protocol — pin that engine.
         let mut ssf_i = sim.build_ssf_with(f, m, EngineConfig::serial());
@@ -146,13 +146,13 @@ pub fn extorgs(opts: &Options) -> Exhibit {
             run(2, &mut fssf_i);
             run(3, &mut nix_i);
         }
-        vec![storage, rc_sup, rc_sub, insert, delete]
+        (vec![storage, rc_sup, rc_sub, insert, delete], sim)
     });
 
     for (i, (label, vals)) in analytic.iter().enumerate() {
         let mut row = vec![label.to_string()];
         row.extend(vals.iter().map(|&v| Exhibit::fmt(v)));
-        if let Some(meas) = &measured {
+        if let Some((meas, _)) = &measured {
             row.extend(meas[i].iter().map(|&v| Exhibit::fmt(v)));
         }
         ex.push_row(row);
@@ -160,6 +160,9 @@ pub fn extorgs(opts: &Options) -> Exhibit {
     ex.note("FSSF trades ⊇ retrieval (reads whole frames, not single slices) for insertion ≈ D_t+1 writes instead of F+1 — the fix §6 anticipates");
     ex.note("FSSF ⊆ degenerates to a striped full scan: BSSF keeps the decisive win on the paper's second query type");
     opts.annotate_scale(&mut ex);
+    if let Some((_, sim)) = &measured {
+        super::attach_observability(&mut ex, [sim]);
+    }
     ex
 }
 

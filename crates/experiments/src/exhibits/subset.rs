@@ -5,7 +5,6 @@ use setsig_costmodel::{BssfModel, NixModel, SsfModel};
 
 use super::Options;
 use crate::report::Exhibit;
-use crate::sim::SimDb;
 
 /// Figure 8: overall `T ⊆ Q` retrieval cost, `D_t = 10`, `F = 500`,
 /// `m = 2`, `D_q = 10…1000`: SSF vs BSSF vs NIX.
@@ -17,7 +16,7 @@ pub fn fig8(opts: &Options) -> Exhibit {
     let d_q_points = [10u32, 20, 30, 50, 70, 100, 150, 200, 300, 500, 700, 1000];
 
     let mut headers: Vec<String> = vec!["D_q".into(), "SSF".into(), "BSSF".into(), "NIX".into()];
-    let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
+    let sim = opts.simulate.then(|| super::obs_sim(opts, d_t));
     let meas = sim
         .as_ref()
         .map(|s| (s.build_ssf(f, m), s.build_bssf(f, m), s.build_nix()));
@@ -57,6 +56,7 @@ pub fn fig8(opts: &Options) -> Exhibit {
     }
     ex.note("paper finding: BSSF beats SSF at every D_q; both saturate near P_p·N as F_d → 1; NIX grows with the posting-list union and is worst in the mid range");
     opts.annotate_scale(&mut ex);
+    super::attach_observability(&mut ex, &sim);
     ex
 }
 
@@ -76,7 +76,7 @@ fn smart_subset_exhibit(
     }
     headers.push("NIX".into());
 
-    let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
+    let sim = opts.simulate.then(|| super::obs_sim(opts, d_t));
     let meas = sim
         .as_ref()
         .map(|s| (s.build_bssf(f_values[1], m), s.build_nix()));
@@ -134,6 +134,7 @@ fn smart_subset_exhibit(
     ));
     ex.note("paper finding: smart BSSF answers T ⊆ Q in a small constant number of pages for probable D_q and overwhelms NIX");
     opts.annotate_scale(&mut ex);
+    super::attach_observability(&mut ex, &sim);
     ex
 }
 

@@ -5,7 +5,6 @@ use setsig_costmodel::{BssfModel, NixModel, SsfModel};
 
 use super::Options;
 use crate::report::Exhibit;
-use crate::sim::SimDb;
 
 /// Figure 4: overall `T ⊇ Q` retrieval cost with the text-retrieval weight
 /// `m = m_opt`; SSF and BSSF at `F ∈ {250, 500}` against NIX, `D_t = 10`,
@@ -21,7 +20,7 @@ pub fn fig4(opts: &Options) -> Exhibit {
     }
     headers.push("NIX".into());
 
-    let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
+    let sim = opts.simulate.then(|| super::obs_sim(opts, d_t));
     let mut measured_cols: Vec<String> = Vec::new();
     if opts.simulate {
         measured_cols.push("meas BSSF F=500".into());
@@ -61,6 +60,7 @@ pub fn fig4(opts: &Options) -> Exhibit {
         ex.note("measured BSSF undercuts Eq. (8): the implementation stops ANDing slices once the accumulator empties, which at m_opt happens after a few dozen of the m_s slices — an optimization the paper's model does not include (the loss to NIX still reproduces)");
     }
     opts.annotate_scale(&mut ex);
+    super::attach_observability(&mut ex, &sim);
     ex
 }
 
@@ -76,7 +76,7 @@ pub fn fig5(opts: &Options) -> Exhibit {
     }
     headers.push("NIX".into());
 
-    let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
+    let sim = opts.simulate.then(|| super::obs_sim(opts, d_t));
     let meas = sim.as_ref().map(|s| (s.build_bssf(f, 2), s.build_nix()));
     if opts.simulate {
         headers.push("meas BSSF m=2".into());
@@ -111,6 +111,7 @@ pub fn fig5(opts: &Options) -> Exhibit {
         "paper finding: except at D_q = 1, BSSF with m = 2 is comparable to or cheaper than NIX",
     );
     opts.annotate_scale(&mut ex);
+    super::attach_observability(&mut ex, &sim);
     ex
 }
 
@@ -130,7 +131,7 @@ fn smart_superset_exhibit(
     }
     headers.push("NIX smart".into());
 
-    let sim = opts.simulate.then(|| SimDb::build(opts.workload(d_t)));
+    let sim = opts.simulate.then(|| super::obs_sim(opts, d_t));
     let meas = sim
         .as_ref()
         .map(|s| (s.build_bssf(f_values[1], m), s.build_nix()));
@@ -196,6 +197,7 @@ fn smart_superset_exhibit(
     ));
     ex.note("paper finding: NIX wins only at D_q = 1; from D_q ≥ 2–3 smart BSSF is equal or cheaper, and both flatten to a constant");
     opts.annotate_scale(&mut ex);
+    super::attach_observability(&mut ex, &sim);
     ex
 }
 

@@ -82,9 +82,7 @@ pub fn table6(opts: &Options) -> Exhibit {
             nix.sc().to_string(),
         ];
         if opts.simulate {
-            let sim = sims
-                .entry(d_t)
-                .or_insert_with(|| SimDb::build(opts.workload(d_t)));
+            let sim = sims.entry(d_t).or_insert_with(|| super::obs_sim(opts, d_t));
             let ssf_i = sim.build_ssf(f, m);
             let bssf_i = sim.build_bssf(f, m);
             let nix_i = sim.build_nix();
@@ -99,6 +97,7 @@ pub fn table6(opts: &Options) -> Exhibit {
         ex.note("measured NIX includes interior fragmentation and overflow pages the model's ⌊P/il⌋ packing ignores");
     }
     opts.annotate_scale(&mut ex);
+    super::attach_observability(&mut ex, sims.values());
     ex
 }
 
@@ -134,9 +133,7 @@ pub fn table7(opts: &Options) -> Exhibit {
             ),
         ];
         let measured: Option<Vec<(f64, f64)>> = opts.simulate.then(|| {
-            let sim = sims
-                .entry(d_t)
-                .or_insert_with(|| SimDb::build(opts.workload(d_t)));
+            let sim = sims.entry(d_t).or_insert_with(|| super::obs_sim(opts, d_t));
             let mut out = Vec::new();
             let disk = sim.db.disk();
             let probe_oid = Oid::new(sim.sets.len() as u64 + 7);
@@ -197,6 +194,7 @@ pub fn table7(opts: &Options) -> Exhibit {
     ex.note("BSSF UC_I = F + 1 is the paper's worst case; the sparse insert variant costs ≈ m_t + 1 (see the ablation bench)");
     ex.note("measured deletes include the flag write on top of the model's SC_OID/2 expected scan; measured NIX updates pay real read-modify-write and split costs");
     opts.annotate_scale(&mut ex);
+    super::attach_observability(&mut ex, sims.values());
     ex
 }
 

@@ -61,7 +61,7 @@ pub fn validate_fd(opts: &Options) -> Exhibit {
         ],
     );
     let d_t = 10;
-    let sim = SimDb::build(run_opts.workload(d_t));
+    let sim = super::obs_sim(&run_opts, d_t);
 
     // Superset: small m admits measurable false drops (m_opt would round
     // everything to zero and validate nothing).
@@ -105,6 +105,7 @@ pub fn validate_fd(opts: &Options) -> Exhibit {
         "measured on a scaled instance N = {}, V = {} with {} random queries per point; rates are instance-level fractions, so tiny probabilities quantize to multiples of 1/N",
         p.n, p.v, run_opts.trials * 4
     ));
+    super::attach_observability(&mut ex, [&sim]);
     ex
 }
 
@@ -174,6 +175,7 @@ pub fn varcard(opts: &Options) -> Exhibit {
             "F_d measured",
         ],
     );
+    let mut sims = Vec::new();
     for cardinality in [
         Cardinality::Fixed(10),
         Cardinality::UniformRange(5, 15),
@@ -186,7 +188,8 @@ pub fn varcard(opts: &Options) -> Exhibit {
             distribution: setsig_workload::Distribution::Uniform,
             seed: 0xcafe + d_t as u64,
         };
-        let sim = SimDb::build(cfg);
+        let mut sim = SimDb::build(cfg);
+        sim.enable_observability(super::OBS_RING_CAP);
         let bssf = sim.build_bssf(f, m);
         for d_q in [1u32, 2] {
             let model = fd_superset(f, m, d_t, d_q);
@@ -203,8 +206,10 @@ pub fn varcard(opts: &Options) -> Exhibit {
                 format!("{measured:.2e}"),
             ]);
         }
+        sims.push(sim);
     }
     ex.note("widening the cardinality spread raises the measured rate above the mean-D_t prediction (Jensen's inequality on Eq. 2); the mixture model Σ w_d·F_d(d) recovers the correction — the quantitative answer to the §6 further-work item");
+    super::attach_observability(&mut ex, &sims);
     ex
 }
 

@@ -20,6 +20,10 @@ pub struct Exhibit {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes printed under the table (assumptions, deviations).
     pub notes: Vec<String>,
+    /// Side-channel files written next to the CSV: `(file name, content)`.
+    /// Measured exhibits attach their metrics snapshot and JSONL query
+    /// trace here.
+    pub artifacts: Vec<(String, String)>,
 }
 
 impl Exhibit {
@@ -31,6 +35,7 @@ impl Exhibit {
             headers: headers.into_iter().map(str::to_owned).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            artifacts: Vec::new(),
         }
     }
 
@@ -115,6 +120,18 @@ impl Exhibit {
             writeln!(f, "{}", row.join(","))?;
         }
         f.flush()
+    }
+
+    /// Writes every attached artifact into `dir` under its own file name.
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<()> {
+        if self.artifacts.is_empty() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)?;
+        for (name, content) in &self.artifacts {
+            std::fs::write(dir.join(name), content)?;
+        }
+        Ok(())
     }
 }
 

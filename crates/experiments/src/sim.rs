@@ -7,13 +7,44 @@
 
 use setsig_core::{
     resolve_drops, Bssf, CandidateSet, ElementKey, Fssf, FssfConfig, Oid, Result as CoreResult,
-    SetAccessFacility, SetQuery, SignatureConfig, Ssf,
+    ScanStats, SetAccessFacility, SetQuery, SignatureConfig, Ssf,
 };
 use setsig_nix::Nix;
+use setsig_obs::{Recorder, RingSink, TraceSink};
 use setsig_oodb::{AttrType, ClassDef, ClassId, Database, Value};
 use setsig_pagestore::PageIo;
 use setsig_workload::{QueryGen, SetGenerator, WorkloadConfig};
 use std::sync::Arc;
+
+/// What a filter-stage closure hands back to the measurement harness: the
+/// drops, plus the scan's own [`ScanStats`] when the facility tracks them.
+///
+/// Implemented for every shape the `candidates*` family returns, so
+/// `measure_smart` accepts `Bssf::candidates_superset_smart` (which returns
+/// `(CandidateSet, ScanStats)`), `Nix::candidates_superset_smart` (a bare
+/// `CandidateSet`), and `candidates_with_stats` alike.
+pub trait FilterOutcome {
+    /// Splits into candidates and optional per-query scan stats.
+    fn into_parts(self) -> (CandidateSet, Option<ScanStats>);
+}
+
+impl FilterOutcome for CandidateSet {
+    fn into_parts(self) -> (CandidateSet, Option<ScanStats>) {
+        (self, None)
+    }
+}
+
+impl FilterOutcome for (CandidateSet, ScanStats) {
+    fn into_parts(self) -> (CandidateSet, Option<ScanStats>) {
+        (self.0, Some(self.1))
+    }
+}
+
+impl FilterOutcome for (CandidateSet, Option<ScanStats>) {
+    fn into_parts(self) -> (CandidateSet, Option<ScanStats>) {
+        self
+    }
+}
 
 /// Measured cost breakdown of one query through one facility.
 #[derive(Debug, Clone, Copy, Default)]
@@ -124,6 +155,12 @@ pub struct SimDb {
     pub sets: Vec<Vec<u64>>,
     /// The workload that generated the instance.
     pub cfg: WorkloadConfig,
+    /// Recorder attached to facilities built after
+    /// [`SimDb::enable_observability`]; `None` (the default) builds
+    /// facilities with observability off.
+    recorder: Option<Arc<Recorder>>,
+    /// The ring sink behind `recorder`, for draining trace events.
+    ring: Option<Arc<RingSink>>,
 }
 
 impl SimDb {
@@ -149,7 +186,30 @@ impl SimDb {
             class,
             sets,
             cfg,
+            recorder: None,
+            ring: None,
         }
+    }
+
+    /// Turns observability on: facilities built *after* this call share one
+    /// fresh [`Recorder`] (metrics registry + a ring sink holding the last
+    /// `ring_cap` trace events). Returns the recorder for snapshots.
+    pub fn enable_observability(&mut self, ring_cap: usize) -> Arc<Recorder> {
+        let ring = Arc::new(RingSink::new(ring_cap));
+        let rec = Arc::new(Recorder::new().with_sink(Arc::clone(&ring) as Arc<dyn TraceSink>));
+        self.ring = Some(ring);
+        self.recorder = Some(Arc::clone(&rec));
+        rec
+    }
+
+    /// The recorder facilities are built with, when observability is on.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The trace ring behind the recorder, when observability is on.
+    pub fn trace_ring(&self) -> Option<&Arc<RingSink>> {
+        self.ring.as_ref()
     }
 
     /// Elements of target `oid` as query keys.
@@ -185,6 +245,7 @@ impl SimDb {
             None => Ssf::create(self.io(), &name, cfg).expect("fits page"),
         };
         ssf.set_parallelism(engine.threads);
+        ssf.set_recorder(self.recorder.clone());
         for (i, set) in self.sets.iter().enumerate() {
             let keys: Vec<ElementKey> = set.iter().map(|&e| ElementKey::from(e)).collect();
             ssf.insert(Oid::new(i as u64), &keys).expect("insert");
@@ -210,6 +271,7 @@ impl SimDb {
             None => Bssf::create(self.io(), &name, cfg).expect("create"),
         };
         bssf.set_parallelism(engine.threads);
+        bssf.set_recorder(self.recorder.clone());
         let items: Vec<(Oid, Vec<ElementKey>)> = self
             .sets
             .iter()
@@ -231,6 +293,7 @@ impl SimDb {
         let cfg = FssfConfig::new(f, k, m).expect("valid FSSF config");
         let mut fssf =
             Fssf::create(self.io(), &format!("fssf-f{f}-k{k}-m{m}"), cfg).expect("create");
+        fssf.set_recorder(self.recorder.clone());
         for (i, set) in self.sets.iter().enumerate() {
             let keys: Vec<ElementKey> = set.iter().map(|&e| ElementKey::from(e)).collect();
             fssf.insert(Oid::new(i as u64), &keys).expect("insert");
@@ -242,6 +305,7 @@ impl SimDb {
     /// Builds a NIX over the instance.
     pub fn build_nix(&self) -> Nix {
         let mut nix = Nix::on_io(self.io(), "nix");
+        nix.set_recorder(self.recorder.clone());
         for (i, set) in self.sets.iter().enumerate() {
             let keys: Vec<ElementKey> = set.iter().map(|&e| ElementKey::from(e)).collect();
             nix.insert(Oid::new(i as u64), &keys).expect("insert");
@@ -254,56 +318,59 @@ impl SimDb {
     /// strategies plug in), then drop resolution fetches and verifies each
     /// candidate against the object store.
     ///
-    /// The filter-stage cost is the raw disk delta, so this variant is only
-    /// engine-independent for serial, unbuffered facilities; prefer
-    /// [`SimDb::measure_facility`] / [`SimDb::measure_smart`], which charge
-    /// the facility's *logical* scan pages whenever it reports them.
+    /// A `filter` returning a bare [`CandidateSet`] is charged the raw disk
+    /// delta, which is only engine-independent for serial, unbuffered
+    /// facilities; prefer [`SimDb::measure_facility`] /
+    /// [`SimDb::measure_smart`], which charge the *logical* scan pages the
+    /// call itself reports.
     pub fn measure(
         &self,
         query: &SetQuery,
         filter: impl FnOnce() -> CoreResult<CandidateSet>,
     ) -> MeasuredQuery {
-        self.measure_inner(query, None, filter)
+        self.measure_inner(query, filter)
     }
 
-    /// Measures a plain facility query.
+    /// Measures a plain facility query. The filter stage is charged the
+    /// [`ScanStats`] returned by *this very call* — exact even when other
+    /// queries run concurrently on the same facility.
     pub fn measure_facility(
         &self,
         facility: &dyn SetAccessFacility,
         query: &SetQuery,
     ) -> MeasuredQuery {
-        self.measure_inner(query, Some(facility), || facility.candidates(query))
+        self.measure_inner(query, || facility.candidates_with_stats(query))
     }
 
-    /// Measures a smart-strategy query (`filter` calls one of `facility`'s
-    /// `candidates_*_smart` methods): like [`SimDb::measure_facility`], the
-    /// filter stage is charged `facility`'s logical scan pages.
-    pub fn measure_smart(
+    /// Measures a smart-strategy query (`filter` calls one of the
+    /// facility's `candidates_*_smart` methods): like
+    /// [`SimDb::measure_facility`], the filter stage is charged the logical
+    /// scan pages the call returns. The `_facility` parameter is retained
+    /// for call-site symmetry with [`SimDb::measure_facility`].
+    pub fn measure_smart<R: FilterOutcome>(
         &self,
-        facility: &dyn SetAccessFacility,
+        _facility: &dyn SetAccessFacility,
         query: &SetQuery,
-        filter: impl FnOnce() -> CoreResult<CandidateSet>,
+        filter: impl FnOnce() -> CoreResult<R>,
     ) -> MeasuredQuery {
-        self.measure_inner(query, Some(facility), filter)
+        self.measure_inner(query, filter)
     }
 
-    fn measure_inner(
+    fn measure_inner<R: FilterOutcome>(
         &self,
         query: &SetQuery,
-        stats_from: Option<&dyn SetAccessFacility>,
-        filter: impl FnOnce() -> CoreResult<CandidateSet>,
+        filter: impl FnOnce() -> CoreResult<R>,
     ) -> MeasuredQuery {
         let disk = self.db.disk();
         let start = disk.snapshot();
-        let candidates = filter().expect("filter stage");
+        let (candidates, stats) = filter().expect("filter stage").into_parts();
         let after_filter = disk.snapshot();
         // The paper's RC charges the serial protocol's page accesses. A
-        // facility that tracks scan stats reports exactly that logical
+        // call that returns its own scan stats reports exactly that logical
         // count whatever its engine does physically (thread speculation,
-        // pool hits); facilities without stats (NIX, FSSF) run serial and
-        // unbuffered, where the disk delta is the same number.
-        let filter_pages = stats_from
-            .and_then(|f| f.scan_stats())
+        // pool hits); calls without stats (NIX) run serial and unbuffered,
+        // where the disk delta is the same number.
+        let filter_pages = stats
             .map(|s| s.logical_pages)
             .unwrap_or_else(|| after_filter.since(start).accesses());
         let source = self
@@ -475,12 +542,12 @@ mod tests {
                     .map(ElementKey::from)
                     .collect(),
             );
-            let a = serial.candidates(&q).unwrap();
-            let b = parallel.candidates(&q).unwrap();
+            let (a, sa) = serial.candidates_with_stats(&q).unwrap();
+            let (b, sb) = parallel.candidates_with_stats(&q).unwrap();
             assert_eq!(a, b, "trial {trial}");
             assert_eq!(
-                serial.last_scan_stats().logical_pages,
-                parallel.last_scan_stats().logical_pages,
+                sa.expect("bssf reports stats").logical_pages,
+                sb.expect("bssf reports stats").logical_pages,
                 "trial {trial}"
             );
             // The exhibits' measured RC must not depend on the engine:

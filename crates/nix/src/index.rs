@@ -1,11 +1,13 @@
 //! The nested index as a set access facility.
 
 use setsig_core::{
-    CandidateSet, ElementKey, Error, Oid, Result, SetAccessFacility, SetPredicate, SetQuery,
+    CandidateSet, ElementKey, Error, Oid, Result, ScanStats, SetAccessFacility, SetPredicate,
+    SetQuery,
 };
 use setsig_pagestore::{Disk, PageIo};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::btree::BTree;
 
@@ -17,6 +19,9 @@ pub struct Nix {
     indexed: u64,
     /// Catalog checkpoint file; created lazily by [`Nix::sync_meta`].
     meta_file: Option<setsig_pagestore::PagedFile>,
+    /// Observability recorder; `None` (the default) keeps the query path
+    /// free of any clock or metrics work.
+    obs: Option<Arc<setsig_obs::Recorder>>,
 }
 
 impl Nix {
@@ -32,7 +37,56 @@ impl Nix {
             tree: BTree::create(io, &format!("{name}.nix")),
             indexed: 0,
             meta_file: None,
+            obs: None,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) an observability recorder.
+    /// Attached, every `candidates*` call emits a
+    /// [`QueryTrace`](setsig_obs::QueryTrace) and updates the `nix.*`
+    /// metrics; detached, the query path does no observability work at all.
+    pub fn set_recorder(&mut self, rec: Option<Arc<setsig_obs::Recorder>>) {
+        self.obs = rec;
+    }
+
+    /// Emits the trace event for one completed query, when a recorder is
+    /// attached. NIX tracks no page accounting (its cost is the B-tree
+    /// look-ups), so the page and slice fields stay `null`.
+    fn trace_query(
+        &self,
+        armed: Option<(Arc<setsig_obs::Recorder>, Instant)>,
+        query: &SetQuery,
+        strategy: Option<&str>,
+        set: &CandidateSet,
+    ) {
+        let Some((rec, t0)) = armed else { return };
+        let predicate = match strategy {
+            Some(s) => format!("{:?}:{s}", query.predicate),
+            None => format!("{:?}", query.predicate),
+        };
+        rec.record_query(&setsig_obs::QueryTrace {
+            facility: "nix".to_owned(),
+            predicate,
+            d_q: query.elements.len() as u64,
+            f_bits: None,
+            m_weight: None,
+            slices_touched: None,
+            early_exit: false,
+            logical_pages: None,
+            physical_pages: None,
+            candidates: set.len() as u64,
+            exact: set.exact,
+            false_drops: None,
+            cache_hits: None,
+            cache_misses: None,
+            latency_ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
+
+    /// Arms the trace context iff a recorder is attached (no clock read
+    /// otherwise).
+    fn arm_obs(&self) -> Option<(Arc<setsig_obs::Recorder>, Instant)> {
+        self.obs.as_ref().map(|r| (Arc::clone(r), Instant::now()))
     }
 
     /// The underlying B-tree (stats, integrity checks).
@@ -85,10 +139,12 @@ impl Nix {
                 "smart superset strategy requires T ⊇ Q".into(),
             ));
         }
+        let armed = self.arm_obs();
         let take = query.elements.len().min(j_cap.max(1));
         let truncated = SetQuery::has_subset(query.elements[..take].to_vec());
         let mut cands = self.superset_candidates(&truncated)?;
         cands.exact = take == query.elements.len();
+        self.trace_query(armed, query, Some("smart"), &cands);
         Ok(cands)
     }
 
@@ -155,13 +211,18 @@ impl SetAccessFacility for Nix {
         Ok(())
     }
 
-    fn candidates(&self, query: &SetQuery) -> Result<CandidateSet> {
-        match query.predicate {
-            SetPredicate::HasSubset | SetPredicate::Contains => self.superset_candidates(query),
-            SetPredicate::InSubset => self.subset_candidates(query),
-            SetPredicate::Equals => self.equals_candidates(query),
-            SetPredicate::Overlaps => self.overlap_candidates(query),
-        }
+    fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
+        let armed = self.arm_obs();
+        let set = match query.predicate {
+            SetPredicate::HasSubset | SetPredicate::Contains => self.superset_candidates(query)?,
+            SetPredicate::InSubset => self.subset_candidates(query)?,
+            SetPredicate::Equals => self.equals_candidates(query)?,
+            SetPredicate::Overlaps => self.overlap_candidates(query)?,
+        };
+        self.trace_query(armed, query, None, &set);
+        // NIX has no scan engine: its cost model is rc·D_q B-tree reads,
+        // measured at the disk, not per-query counters.
+        Ok((set, None))
     }
 
     fn indexed_count(&self) -> u64 {
@@ -363,6 +424,7 @@ impl Nix {
             tree,
             indexed,
             meta_file: Some(meta_file),
+            obs: None,
         })
     }
 }

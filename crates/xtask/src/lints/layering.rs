@@ -6,7 +6,9 @@
 //! workload knowledge and quietly break the paper's protocol. Likewise the
 //! analytic crates (`costmodel`, `workload`) stay free of storage
 //! dependencies, so the model and the measurement cannot contaminate each
-//! other.
+//! other. The observability crate (`obs`) sits below the facilities — it
+//! may be *used* by them but depends on nothing, so attaching a recorder
+//! can never alter what a scan reads.
 //!
 //! Enforced on both levels:
 //! * **manifest edges** — `[dependencies]` in each `crates/*/Cargo.toml`
@@ -24,21 +26,31 @@ use crate::{Diagnostic, Lint};
 /// The workspace DAG: crate dir → setsig crates it may depend on.
 ///
 /// Order follows the build layering, bottom to top.
-const ALLOWED_DEPS: [(&str, &[&str]); 9] = [
+const ALLOWED_DEPS: [(&str, &[&str]); 10] = [
     ("pagestore", &[]),
-    ("core", &["pagestore"]),
-    ("nix", &["pagestore", "core"]),
+    ("obs", &[]),
+    ("core", &["pagestore", "obs"]),
+    ("nix", &["pagestore", "obs", "core"]),
     ("oodb", &["pagestore", "core"]),
     ("costmodel", &[]),
     ("workload", &[]),
     (
         "experiments",
-        &["pagestore", "core", "nix", "oodb", "costmodel", "workload"],
+        &[
+            "pagestore",
+            "obs",
+            "core",
+            "nix",
+            "oodb",
+            "costmodel",
+            "workload",
+        ],
     ),
     (
         "bench",
         &[
             "pagestore",
+            "obs",
             "core",
             "nix",
             "oodb",

@@ -109,8 +109,10 @@ fn main() {
         let candidates = match plan {
             Plan::BssfPlain => bssf.candidates(q).unwrap(),
             Plan::BssfSmart { cap } => match q.predicate {
-                SetPredicate::HasSubset => bssf.candidates_superset_smart(q, cap as usize).unwrap(),
-                _ => bssf.candidates_subset_smart(q, cap as usize).unwrap(),
+                SetPredicate::HasSubset => {
+                    bssf.candidates_superset_smart(q, cap as usize).unwrap().0
+                }
+                _ => bssf.candidates_subset_smart(q, cap as usize).unwrap().0,
             },
             Plan::NixPlain => nix.candidates(q).unwrap(),
             Plan::NixSmart { cap } => nix.candidates_superset_smart(q, cap as usize).unwrap(),

@@ -114,10 +114,10 @@ fn parallel_engine_matches_serial_sets_and_counts() {
 
     for q in &queries {
         serial_disk.reset_stats();
-        let cs = serial.candidates(q).unwrap();
-        let ss = serial.last_scan_stats();
-        let cp = parallel.candidates(q).unwrap();
-        let sp = parallel.last_scan_stats();
+        let (cs, ss) = serial.candidates_with_stats(q).unwrap();
+        let ss = ss.expect("bssf reports per-query stats");
+        let (cp, sp) = parallel.candidates_with_stats(q).unwrap();
+        let sp = sp.expect("bssf reports per-query stats");
         assert_eq!(cs, cp, "candidate sets diverged on {:?}", q.predicate);
         assert_eq!(
             ss.logical_pages, sp.logical_pages,
@@ -173,6 +173,79 @@ fn parallel_engine_is_safe_under_concurrent_callers() {
     for h in handles {
         let (i, got) = h.join().expect("no panics under concurrency");
         assert_eq!(got, expected[i], "caller thread {i} diverged");
+    }
+}
+
+#[test]
+fn concurrent_queries_each_observe_their_own_scan_stats() {
+    // Regression for the shared-counter race: two queries with very
+    // different page footprints run simultaneously on one facility, many
+    // times over. Every call must report exactly the stats of its own
+    // scan — equal to a serial baseline — never a blend of both.
+    let items: Vec<(Oid, Vec<ElementKey>)> = (0..3000u64)
+        .map(|i| {
+            (
+                Oid::new(i),
+                (0..5).map(|j| ElementKey::from(i * 9 + j)).collect(),
+            )
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        let disk = Arc::new(Disk::new());
+        let io = Arc::clone(&disk) as Arc<dyn PageIo>;
+        let mut b = Bssf::create(io, "r", SignatureConfig::new(256, 3).unwrap()).unwrap();
+        b.bulk_load(&items).unwrap();
+        b.set_parallelism(threads);
+        let bssf = Arc::new(b);
+
+        // A cheap query (superset, early exit on a miss) and an expensive
+        // one (subset reads every zero slice of the query signature).
+        let q_cheap = SetQuery::has_subset(
+            (0..5)
+                .map(|j| ElementKey::from(20_000_000 + j))
+                .collect::<Vec<ElementKey>>(),
+        );
+        let q_costly = SetQuery::in_subset((0..9).map(ElementKey::from).collect());
+        let baselines: Vec<_> = [&q_cheap, &q_costly]
+            .iter()
+            .map(|q| {
+                let (set, stats) = bssf.candidates_with_stats(q).unwrap();
+                (set, stats.expect("bssf reports per-query stats"))
+            })
+            .collect();
+        assert_ne!(
+            baselines[0].1.logical_pages, baselines[1].1.logical_pages,
+            "queries must differ in cost for the race to be observable"
+        );
+
+        let handles: Vec<_> = [q_cheap, q_costly]
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let b = Arc::clone(&bssf);
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    for _ in 0..25 {
+                        let (set, stats) = b.candidates_with_stats(&q).unwrap();
+                        out.push((set, stats.expect("bssf reports per-query stats")));
+                    }
+                    (i, out)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (i, runs) = h.join().expect("no panics under concurrency");
+            let (want_set, want_stats) = &baselines[i];
+            for (set, stats) in runs {
+                assert_eq!(&set, want_set, "query {i} candidates diverged");
+                assert_eq!(
+                    stats.logical_pages, want_stats.logical_pages,
+                    "query {i} logical pages blended with the other query \
+                     (threads={threads})"
+                );
+                assert!(stats.physical_pages >= stats.logical_pages);
+            }
+        }
     }
 }
 

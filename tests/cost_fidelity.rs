@@ -157,12 +157,11 @@ fn smart_strategies_cap_reads_and_stay_sound() {
     let target_keys: Vec<ElementKey> = sets[55].iter().map(|&e| ElementKey::from(e)).collect();
     let q_sup = SetQuery::has_subset(target_keys.clone());
     disk.reset_stats();
-    let c = bssf.candidates_superset_smart(&q_sup, 2).unwrap();
+    let (c, scan) = bssf.candidates_superset_smart(&q_sup, 2).unwrap();
     assert!(
         c.oids.contains(&Oid::new(55)),
         "smart ⊇ must keep the true match"
     );
-    let scan = bssf.last_scan_stats();
     // At most 2·m = 4 slice pages, plus the OID-file look-up pages (the
     // whole OID file spans ⌈2000/512⌉ = 4 pages).
     assert!(
@@ -173,8 +172,8 @@ fn smart_strategies_cap_reads_and_stay_sound() {
     assert_eq!(scan.logical_pages, scan.physical_pages);
     // Full strategy reads more slices and yields a subset of the smart
     // strategy's drops (more slices ANDed → fewer candidates).
-    let full = bssf.candidates(&q_sup).unwrap();
-    assert!(bssf.last_scan_stats().logical_pages >= scan.logical_pages);
+    let (full, full_scan) = bssf.candidates_with_stats(&q_sup).unwrap();
+    assert!(full_scan.unwrap().logical_pages >= scan.logical_pages);
     for oid in &full.oids {
         assert!(c.oids.contains(oid), "smart drops must cover full drops");
     }
@@ -182,20 +181,19 @@ fn smart_strategies_cap_reads_and_stay_sound() {
     // Subset smart: cap the 0-slice reads at 40 of the ~480.
     let q_sub = SetQuery::in_subset(target_keys);
     disk.reset_stats();
-    let c = bssf.candidates_subset_smart(&q_sub, 40).unwrap();
+    let (c, scan) = bssf.candidates_subset_smart(&q_sub, 40).unwrap();
     assert!(
         c.oids.contains(&Oid::new(55)),
         "smart ⊆ must keep the true match"
     );
-    let scan = bssf.last_scan_stats();
     // Exactly the 40-slice cap, plus 1–4 OID-file look-up pages.
     assert!(
         scan.logical_pages >= 40 && scan.logical_pages <= 40 + 4,
         "⊆ smart charged {} pages for a 40-slice cap",
         scan.logical_pages
     );
-    let full = bssf.candidates(&q_sub).unwrap();
-    assert!(bssf.last_scan_stats().logical_pages >= 40);
+    let (full, full_scan) = bssf.candidates_with_stats(&q_sub).unwrap();
+    assert!(full_scan.unwrap().logical_pages >= 40);
     for oid in &full.oids {
         assert!(c.oids.contains(oid), "smart ⊆ drops must cover full drops");
     }
@@ -217,23 +215,15 @@ fn smart_strategies_are_identical_under_parallel_engine() {
     for t in [3usize, 77, 501] {
         let target: Vec<ElementKey> = sets[t].iter().map(|&e| ElementKey::from(e)).collect();
         let q_sup = SetQuery::has_subset(target.clone());
-        assert_eq!(
-            serial.candidates_superset_smart(&q_sup, 3).unwrap(),
-            parallel.candidates_superset_smart(&q_sup, 3).unwrap()
-        );
-        assert_eq!(
-            serial.last_scan_stats().logical_pages,
-            parallel.last_scan_stats().logical_pages
-        );
+        let (cs, ss) = serial.candidates_superset_smart(&q_sup, 3).unwrap();
+        let (cp, sp) = parallel.candidates_superset_smart(&q_sup, 3).unwrap();
+        assert_eq!(cs, cp);
+        assert_eq!(ss.logical_pages, sp.logical_pages);
         let q_sub = SetQuery::in_subset(target);
-        assert_eq!(
-            serial.candidates_subset_smart(&q_sub, 30).unwrap(),
-            parallel.candidates_subset_smart(&q_sub, 30).unwrap()
-        );
-        assert_eq!(
-            serial.last_scan_stats().logical_pages,
-            parallel.last_scan_stats().logical_pages
-        );
+        let (cs, ss) = serial.candidates_subset_smart(&q_sub, 30).unwrap();
+        let (cp, sp) = parallel.candidates_subset_smart(&q_sub, 30).unwrap();
+        assert_eq!(cs, cp);
+        assert_eq!(ss.logical_pages, sp.logical_pages);
     }
 }
 
@@ -256,14 +246,14 @@ fn cached_engine_serves_hot_slices_without_disk_reads() {
     bssf.buffer_pool().unwrap().clear();
 
     let q = SetQuery::has_subset(vec![ElementKey::from(7u64), ElementKey::from(423u64)]);
-    let first = bssf.candidates(&q).unwrap();
-    let first_scan = bssf.last_scan_stats();
+    let (first, first_scan) = bssf.candidates_with_stats(&q).unwrap();
+    let first_scan = first_scan.unwrap();
     let cold = bssf.cache_stats().unwrap();
     assert!(cold.misses > 0, "cold scan must reach the disk");
 
     disk.reset_stats();
-    let second = bssf.candidates(&q).unwrap();
-    let second_scan = bssf.last_scan_stats();
+    let (second, second_scan) = bssf.candidates_with_stats(&q).unwrap();
+    let second_scan = second_scan.unwrap();
     let hot = bssf.cache_stats().unwrap();
 
     assert_eq!(first, second, "cache must not change answers");

@@ -76,8 +76,8 @@ fn run_workload(sets: &[Vec<u64>], queries: &[(bool, Vec<u64>)]) -> Result<(), T
             truth_subset(sets, elems)
         };
 
-        let s = ssf.candidates(&q).unwrap();
-        let b = bssf.candidates(&q).unwrap();
+        let (s, s_stats) = ssf.candidates_with_stats(&q).unwrap();
+        let (b, b_stats) = bssf.candidates_with_stats(&q).unwrap();
         let n = nix.candidates(&q).unwrap();
 
         // No false negatives, ever: the signature filters must drop a
@@ -103,14 +103,17 @@ fn run_workload(sets: &[Vec<u64>], queries: &[(bool, Vec<u64>)]) -> Result<(), T
 
         // The parallel engines must be *identical* to their serial twins:
         // same candidates, same logical page charge.
-        let sp = ssf_par.candidates(&q).unwrap();
+        let (sp, sp_stats) = ssf_par.candidates_with_stats(&q).unwrap();
         prop_assert_eq!(&s, &sp, "parallel SSF diverged");
-        prop_assert_eq!(ssf.last_scan_stats(), ssf_par.last_scan_stats());
-        let bp = bssf_par.candidates(&q).unwrap();
+        prop_assert_eq!(
+            s_stats.expect("ssf reports stats").logical_pages,
+            sp_stats.expect("ssf reports stats").logical_pages
+        );
+        let (bp, bp_stats) = bssf_par.candidates_with_stats(&q).unwrap();
         prop_assert_eq!(&b, &bp, "parallel BSSF diverged");
         prop_assert_eq!(
-            bssf.last_scan_stats().logical_pages,
-            bssf_par.last_scan_stats().logical_pages,
+            b_stats.expect("bssf reports stats").logical_pages,
+            bp_stats.expect("bssf reports stats").logical_pages,
             "parallel BSSF charged different logical pages"
         );
     }

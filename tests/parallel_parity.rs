@@ -47,38 +47,28 @@ fn assert_parity(sim: &SimDb, f: u32, m: u32, strategy: Strategy, d_qs: &[u32], 
     for &d_q in d_qs {
         for trial in 0..3 {
             let keys: Vec<ElementKey> = qg.random(d_q).into_iter().map(ElementKey::from).collect();
-            let (cs, cp) = match strategy {
+            let with_stats = |b: &setsig::prelude::Bssf| match &strategy {
                 Strategy::Superset => {
-                    let q = SetQuery::has_subset(keys);
-                    (
-                        serial.candidates(&q).unwrap(),
-                        parallel.candidates(&q).unwrap(),
-                    )
+                    let q = SetQuery::has_subset(keys.clone());
+                    let (c, s) = b.candidates_with_stats(&q).unwrap();
+                    (c, s.expect("bssf reports per-query stats"))
                 }
                 Strategy::Subset => {
-                    let q = SetQuery::in_subset(keys);
-                    (
-                        serial.candidates(&q).unwrap(),
-                        parallel.candidates(&q).unwrap(),
-                    )
+                    let q = SetQuery::in_subset(keys.clone());
+                    let (c, s) = b.candidates_with_stats(&q).unwrap();
+                    (c, s.expect("bssf reports per-query stats"))
                 }
                 Strategy::SmartSuperset(cap) => {
-                    let q = SetQuery::has_subset(keys);
-                    (
-                        serial.candidates_superset_smart(&q, cap).unwrap(),
-                        parallel.candidates_superset_smart(&q, cap).unwrap(),
-                    )
+                    let q = SetQuery::has_subset(keys.clone());
+                    b.candidates_superset_smart(&q, *cap).unwrap()
                 }
                 Strategy::SmartSubset(cap) => {
-                    let q = SetQuery::in_subset(keys);
-                    (
-                        serial.candidates_subset_smart(&q, cap).unwrap(),
-                        parallel.candidates_subset_smart(&q, cap).unwrap(),
-                    )
+                    let q = SetQuery::in_subset(keys.clone());
+                    b.candidates_subset_smart(&q, *cap).unwrap()
                 }
             };
-            let ss = serial.last_scan_stats();
-            let sp = parallel.last_scan_stats();
+            let (cs, ss) = with_stats(&serial);
+            let (cp, sp) = with_stats(&parallel);
             assert_eq!(
                 cs, cp,
                 "{tag}: candidates diverged (D_q={d_q}, trial {trial})"
@@ -181,12 +171,13 @@ fn fig8_subset_configs_are_parity_clean() {
     let mut qg = sim.query_gen(0xF8);
     for d_q in [10u32, 50, 200] {
         let q = SetQuery::in_subset(qg.random(d_q).into_iter().map(ElementKey::from).collect());
+        let (cs, ss) = serial.candidates_with_stats(&q).unwrap();
+        let (cp, sp) = parallel.candidates_with_stats(&q).unwrap();
+        assert_eq!(cs, cp, "fig8 SSF: candidates diverged (D_q={d_q})");
         assert_eq!(
-            serial.candidates(&q).unwrap(),
-            parallel.candidates(&q).unwrap(),
-            "fig8 SSF: candidates diverged (D_q={d_q})"
+            ss.expect("ssf reports stats").logical_pages,
+            sp.expect("ssf reports stats").logical_pages
         );
-        assert_eq!(serial.last_scan_stats(), parallel.last_scan_stats());
     }
 }
 
