@@ -339,6 +339,7 @@ impl Bssf {
         // lock therefore never nests around the storage locks. std::sync
         // (not parking_lot) because the pipeline needs a Condvar; the
         // poisoning unwraps are justified in xtask's panics.allow.
+        // LOCK-ORDER: core.bssf_pipeline leaf
         let shared = Mutex::new(Shared {
             fetched: (0..ones.len()).map(|_| None).collect(),
             next: 0,

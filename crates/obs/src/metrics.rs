@@ -235,6 +235,7 @@ enum Metric {
 /// never take the query path down).
 #[derive(Default)]
 pub struct MetricsRegistry {
+    // LOCK-ORDER: obs.metrics leaf
     metrics: Mutex<BTreeMap<String, Metric>>,
 }
 

@@ -104,6 +104,7 @@ pub trait TraceSink: Send + Sync {
 
 /// A bounded in-memory ring of the most recent events.
 pub struct RingSink {
+    // LOCK-ORDER: obs.trace_ring leaf
     buf: Mutex<VecDeque<QueryTrace>>,
     cap: usize,
 }
@@ -158,6 +159,9 @@ impl std::fmt::Debug for RingSink {
 /// for tests). Write errors are swallowed: tracing must never fail the
 /// query.
 pub struct JsonlSink {
+    // The mutex IS this sink's serialization point: `flush` necessarily
+    // flushes the writer under it (allowlisted in locks.allow).
+    // LOCK-ORDER: obs.trace_jsonl leaf
     out: Mutex<Box<dyn Write + Send>>,
 }
 

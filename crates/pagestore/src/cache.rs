@@ -107,11 +107,13 @@ impl PoolInner {
 pub struct BufferPool {
     disk: Arc<Disk>,
     capacity: usize,
-    // Lock ordering: the pool lock is NEVER held across a `self.disk`
-    // call. `read_page` drops its guard before a miss goes to disk;
-    // `write_page`/`append_page` take it only after the disk write
-    // returns. The pool and disk mutexes are therefore never nested, and
-    // either can be taken while a caller holds an engine-level lock.
+    // The pool lock is NEVER held across a `self.disk` call (enforced by
+    // the guard-across-io lint): `read_page` drops its guard before a
+    // miss goes to disk; `write_page`/`append_page` take it only after
+    // the disk write returns. The pool and disk mutexes are therefore
+    // never nested, and either can be taken while a caller holds an
+    // engine-level lock.
+    // LOCK-ORDER: pagestore.pool leaf
     inner: Mutex<PoolInner>,
 }
 

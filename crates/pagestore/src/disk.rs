@@ -67,9 +67,10 @@ struct DiskInner {
 ///
 /// `Disk` is internally synchronized; share it as `Arc<Disk>`.
 pub struct Disk {
-    // Lock ordering: this is the LEAF lock of the whole system. No method
-    // calls out of the crate (or into BufferPool) while holding it, so it
-    // can be taken from under any other lock without deadlock risk.
+    // This is the LEAF lock of the whole system: no method calls out of
+    // the crate (or into BufferPool) while holding it, so it can be taken
+    // from under any other lock without deadlock risk.
+    // LOCK-ORDER: pagestore.disk leaf
     inner: Mutex<DiskInner>,
 }
 

@@ -1,0 +1,37 @@
+//! guard-across-io pass fixture: the same shapes done right — the guard
+//! dies (block scope or explicit `drop`) before the I/O call, or the
+//! site is justified via the self-test allowlist
+//! (`…::allowlisted_site`).
+
+use std::sync::Mutex;
+
+struct Disk;
+
+struct Pool {
+    // LOCK-ORDER: gpass.pool leaf
+    inner: Mutex<u32>,
+    disk: Disk,
+}
+
+impl Pool {
+    fn block_scope_then_read(&self) {
+        let page = {
+            let g = self.inner.lock();
+            *g
+        };
+        self.disk.read_page(page);
+    }
+
+    fn explicit_drop_then_write(&self) {
+        let g = self.inner.lock();
+        drop(g);
+        self.disk.write_page(0, &[]);
+    }
+
+    fn allowlisted_site(&self) {
+        // The mutex is this sink's serialization point — justified.
+        let g = self.inner.lock();
+        self.disk.flush();
+        let _ = g;
+    }
+}

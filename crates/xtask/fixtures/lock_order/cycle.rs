@@ -1,0 +1,13 @@
+//! lock-order cycle fixture: the declared order forms a three-lock
+//! cycle, so every participating declaration is reported.
+
+use std::sync::Mutex;
+
+struct Cyclic {
+    // LOCK-ORDER: cyc.a < cyc.b
+    a: Mutex<u32>, //~ ERROR lock-order: cycle
+    // LOCK-ORDER: cyc.b < cyc.c
+    b: Mutex<u32>, //~ ERROR lock-order: cycle
+    // LOCK-ORDER: cyc.c < cyc.a
+    c: Mutex<u32>, //~ ERROR lock-order: cycle
+}

@@ -1,0 +1,77 @@
+//! lock-order fail fixture: one marked line per error code (cycles have
+//! their own fixture). Markers pin both the position and the code word
+//! in the message.
+
+use std::sync::Mutex;
+
+struct Unannotated {
+    plain: Mutex<u32>, //~ ERROR lock-order: unannotated
+}
+
+struct Malformed {
+    // LOCK-ORDER: fix.bad name!
+    oops: Mutex<u32>, //~ ERROR lock-order: malformed
+}
+
+struct Dup {
+    // LOCK-ORDER: fix.dup
+    first: Mutex<u32>,
+    // LOCK-ORDER: fix.dup
+    second: Mutex<u32>, //~ ERROR lock-order: duplicate-name
+}
+
+struct OwnerA {
+    // LOCK-ORDER: fix.a1
+    state: Mutex<u32>,
+}
+
+struct OwnerB {
+    // LOCK-ORDER: fix.a2
+    state: Mutex<u32>, //~ ERROR lock-order: ambiguous-field
+}
+
+struct Orphan {
+    // LOCK-ORDER: fix.orphan < fix.missing
+    child: Mutex<u32>, //~ ERROR lock-order: unknown-parent
+}
+
+struct UnderLeaf {
+    // LOCK-ORDER: fix.leaf leaf
+    terminal: Mutex<u32>,
+    // LOCK-ORDER: fix.below < fix.leaf
+    below: Mutex<u32>, //~ ERROR lock-order: leaf-parent
+}
+
+impl UnderLeaf {
+    fn acquire_under_leaf(&self) {
+        let t = self.terminal.lock();
+        let b = self.below.lock(); //~ ERROR lock-order: order-violation
+        let _ = (t, b);
+    }
+}
+
+struct Engine {
+    // LOCK-ORDER: fix.engine
+    engine: Mutex<u32>,
+    // LOCK-ORDER: fix.stats < fix.engine
+    stats: Mutex<u32>,
+}
+
+impl Engine {
+    fn against_declared_order(&self) {
+        let s = self.stats.lock();
+        let e = self.engine.lock(); //~ ERROR lock-order: order-violation
+        let _ = (s, e);
+    }
+
+    fn self_deadlock(&self) {
+        let g = self.engine.lock();
+        let h = self.engine.lock(); //~ ERROR lock-order: order-violation
+        let _ = (g, h);
+    }
+}
+
+fn invisible_lock(handle: &std::io::Stdout) {
+    let g = handle.lock(); //~ ERROR lock-order: unattributed
+    let _ = g;
+}

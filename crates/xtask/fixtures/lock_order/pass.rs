@@ -1,0 +1,39 @@
+//! lock-order pass fixture: a three-level hierarchy (catalog over pool
+//! over disk) with legal direct and transitive nesting, RwLock
+//! acquisitions, and one deliberate violation that the self-test
+//! allowlist (`…::allowlisted_site`) suppresses.
+
+use std::sync::{Mutex, RwLock};
+
+struct Facility {
+    // LOCK-ORDER: fix.catalog
+    catalog: RwLock<u32>,
+    // LOCK-ORDER: fix.pool < fix.catalog
+    pool: Mutex<u32>,
+    // LOCK-ORDER: fix.disk < fix.pool leaf
+    disk: Mutex<u32>,
+}
+
+impl Facility {
+    fn legal_direct_nesting(&self) {
+        let c = self.catalog.read();
+        let p = self.pool.lock();
+        let d = self.disk.lock();
+        drop(d);
+        drop(p);
+        drop(c);
+    }
+
+    fn legal_transitive_nesting(&self) {
+        let c = self.catalog.write();
+        let d = self.disk.lock();
+        let _ = (c, d);
+    }
+
+    fn allowlisted_site(&self) {
+        // Backwards (pool under leaf disk) — justified via the allowlist.
+        let d = self.disk.lock();
+        let p = self.pool.lock();
+        let _ = (d, p);
+    }
+}

@@ -1,6 +1,6 @@
 //! # xtask — project-specific static analysis for the setsig workspace
 //!
-//! `cargo xtask analyze` runs four offline, hand-rolled lints over the
+//! `cargo xtask analyze` runs seven offline, hand-rolled lints over the
 //! workspace source (token-level scanner, no network, no rustc plumbing):
 //!
 //! 1. **accounting** — raw page I/O (`read_page` / `write_page`) may only be
@@ -22,6 +22,15 @@
 //!    (`pagestore`, `core`) can never reach up into the harness layers
 //!    (`experiments`, `workload`, `bench`), and pure-math crates
 //!    (`costmodel`, `workload`) stay dependency-free.
+//! 5. **lock-order** — every `Mutex`/`RwLock` declaration carries a
+//!    machine-readable `// LOCK-ORDER: <name> [< <parent>]… [leaf]`
+//!    annotation; the declared order must form a DAG and every lexically
+//!    nested acquisition must follow it (see [`locks`]).
+//! 6. **guard-across-io** — no lock guard may be live across a
+//!    `read_page`/`write_page`/`flush`/`sync` call; the pool comment's
+//!    promise, enforced.
+//! 7. **stale-allow** — every `crates/xtask/allow/*.allow` entry must
+//!    still match a real site; dangling suppressions fail the run.
 //!
 //! The analyzer is deliberately syntactic: it trades soundness-in-general
 //! for zero dependencies and total transparency. Each lint is a small token
@@ -34,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod lints;
+pub mod locks;
 pub mod scan;
 pub mod selftest;
 pub mod workspace;
@@ -53,6 +63,13 @@ pub enum Lint {
     PanicSurface,
     /// A dependency edge that violates the workspace DAG.
     Layering,
+    /// A lock without a valid `LOCK-ORDER:` annotation, or an acquisition
+    /// contradicting the declared order.
+    LockOrder,
+    /// A lock guard live across a page-I/O call.
+    GuardAcrossIo,
+    /// An allowlist entry that matched no site this run.
+    StaleAllow,
 }
 
 impl Lint {
@@ -63,6 +80,9 @@ impl Lint {
             Lint::UnsafeAudit => "unsafe-audit",
             Lint::PanicSurface => "panic-surface",
             Lint::Layering => "layering",
+            Lint::LockOrder => "lock-order",
+            Lint::GuardAcrossIo => "guard-across-io",
+            Lint::StaleAllow => "stale-allow",
         }
     }
 
@@ -73,6 +93,9 @@ impl Lint {
             "unsafe-audit" => Some(Lint::UnsafeAudit),
             "panic-surface" => Some(Lint::PanicSurface),
             "layering" => Some(Lint::Layering),
+            "lock-order" => Some(Lint::LockOrder),
+            "guard-across-io" => Some(Lint::GuardAcrossIo),
+            "stale-allow" => Some(Lint::StaleAllow),
             _ => None,
         }
     }
@@ -98,6 +121,39 @@ pub struct Diagnostic {
     pub msg: String,
 }
 
+impl Diagnostic {
+    /// The finding as one JSON object (`--format json` output; keys
+    /// `file`, `line`, `lint`, `msg`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"lint\":{},\"msg\":{}}}",
+            json_string(&self.file),
+            self.line,
+            json_string(self.lint.name()),
+            json_string(&self.msg),
+        )
+    }
+}
+
+/// Minimal JSON string encoder (the analyzer stays zero-dependency).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -112,11 +168,23 @@ impl fmt::Display for Diagnostic {
 /// findings sorted by file, line, lint.
 pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let ws = workspace::Workspace::load(root)?;
+    // Allowlists load once; `permits` marks entries as they match, and the
+    // stale-allow pass at the end reports any that never did.
+    let allow_accounting = ws.allowlist("accounting.allow")?;
+    let allow_panics = ws.allowlist("panics.allow")?;
+    let allow_locks = ws.allowlist("locks.allow")?;
     let mut diags = Vec::new();
-    diags.extend(lints::accounting::run(&ws)?);
+    diags.extend(lints::accounting::run(&ws, &allow_accounting));
     diags.extend(lints::unsafe_audit::run(&ws));
-    diags.extend(lints::panic_surface::run(&ws)?);
+    diags.extend(lints::panic_surface::run(&ws, &allow_panics));
     diags.extend(lints::layering::run(&ws)?);
+    diags.extend(lints::lock_order::run(&ws, &allow_locks));
+    diags.extend(lints::guard_across_io::run(&ws, &allow_locks));
+    diags.extend(lints::stale_allow::check(&[
+        ("crates/xtask/allow/accounting.allow", &allow_accounting),
+        ("crates/xtask/allow/panics.allow", &allow_panics),
+        ("crates/xtask/allow/locks.allow", &allow_locks),
+    ]));
     diags.sort_by(|a, b| (&a.file, a.line, a.lint, &a.msg).cmp(&(&b.file, b.line, b.lint, &b.msg)));
     Ok(diags)
 }

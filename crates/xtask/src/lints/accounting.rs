@@ -12,7 +12,6 @@
 //! Test modules, integration tests and benches are exempt — asserting on
 //! raw counters is exactly what they are for.
 
-use crate::scan::{fn_context, test_mask};
 use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
 use crate::{Diagnostic, Lint};
 
@@ -20,26 +19,23 @@ use crate::{Diagnostic, Lint};
 const RAW_IO: [&str; 2] = ["read_page", "write_page"];
 
 /// Runs the lint over every library/binary source file.
-pub fn run(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
-    let allow = ws.allowlist("accounting.allow")?;
+pub fn run(ws: &Workspace, allow: &Allowlist) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for file in &ws.files {
         if file.class == FileClass::Test {
             continue;
         }
-        out.extend(check_file(file, &allow));
+        out.extend(check_file(file, allow));
     }
-    Ok(out)
+    out
 }
 
 /// Checks one file against the allowlist.
 pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
     let toks = &file.scanned.toks;
-    let mask = test_mask(toks);
-    let ctx = fn_context(toks);
     let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
-        if mask[i] || !RAW_IO.iter().any(|m| t.is_ident(m)) {
+        if file.test_mask[i] || !RAW_IO.iter().any(|m| t.is_ident(m)) {
             continue;
         }
         // Must be a call: `.read_page(` or `Path::read_page(`.
@@ -49,7 +45,7 @@ pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
         if !called || !(via_dot || via_path) {
             continue; // A definition (`fn read_page`) or a bare mention.
         }
-        if allow.permits(&file.rel, ctx[i].as_deref()) {
+        if allow.permits(&file.rel, file.fn_ctx[i].as_deref()) {
             continue;
         }
         out.push(Diagnostic {

@@ -1,0 +1,106 @@
+//! **guard-across-io** — no lock guard may be live across a page-I/O
+//! call.
+//!
+//! This is exactly the invariant `cache.rs` promises in prose ("the pool
+//! lock is never held across a disk call"): holding a lock across
+//! `read_page`/`write_page`/`flush`/`sync` serializes I/O behind the
+//! lock today and deadlocks a future async or sharded pagestore. The
+//! lint pairs every acquisition site's lexical guard range (see
+//! [`crate::locks`]) with every I/O call inside it and reports one
+//! `io-under-lock:` diagnostic per (guard, call) pair. Justified sites —
+//! e.g. a sink whose mutex *is* the serialization point for its writer —
+//! live in `crates/xtask/allow/locks.allow`.
+
+use crate::locks::{self, AcqMethod, LockKind};
+use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
+use crate::{Diagnostic, Lint};
+
+/// Calls treated as page I/O: the `PageIo` trait surface plus the
+/// flush/sync family.
+pub const IO_CALLS: [&str; 7] = [
+    "read_page",
+    "write_page",
+    "update_page",
+    "append_page",
+    "extend_to",
+    "flush",
+    "sync",
+];
+
+/// Runs the lint over every library/binary source file.
+pub fn run(ws: &Workspace, allow: &Allowlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.class == FileClass::Test {
+            continue;
+        }
+        out.extend(check_file(file, allow));
+    }
+    out
+}
+
+/// Single-file entry point, shared with the fixture self-tests.
+pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
+    let toks = &file.scanned.toks;
+    // Only guards of locks declared in this file count; a bare `.read()`
+    // on anything else is io::Read, not an RwLock acquisition.
+    let rwlocks: Vec<String> = locks::collect_decls(file)
+        .into_iter()
+        .filter(|d| d.kind == LockKind::RwLock)
+        .map(|d| d.field)
+        .collect();
+    let guards: Vec<locks::Acquisition> = locks::collect_acquisitions(file)
+        .into_iter()
+        .filter(|a| match a.method {
+            AcqMethod::Lock => true,
+            AcqMethod::Read | AcqMethod::Write => a
+                .receiver
+                .as_deref()
+                .is_some_and(|r| rwlocks.iter().any(|f| f == r)),
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if file.test_mask[i] || t.kind != crate::scan::TokKind::Ident {
+            continue;
+        }
+        if !IO_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // A call site: `x.read_page(` or `PageIo::read_page(`; skip the
+        // definitions themselves (`fn read_page(`).
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let is_call = i > 0 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'));
+        if !is_call {
+            continue;
+        }
+        for g in &guards {
+            // `self.out.lock().flush()` — the flush *is* the guard's own
+            // statement; that is still I/O under the lock and exactly the
+            // shape the allowlist exists for, so no exemption here.
+            if !g.covers(i) {
+                continue;
+            }
+            if allow.permits(&file.rel, file.fn_ctx[i].as_deref()) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.rel.clone(),
+                line: t.line,
+                lint: Lint::GuardAcrossIo,
+                msg: format!(
+                    "io-under-lock: `{}` called while the guard from `.{}()` on \
+                     line {} is live; drop the guard (or end its block) before \
+                     page I/O, or justify the site in \
+                     crates/xtask/allow/locks.allow",
+                    t.text,
+                    g.method.method_name(),
+                    g.line,
+                ),
+            });
+        }
+    }
+    out
+}

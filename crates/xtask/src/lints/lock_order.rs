@@ -1,0 +1,317 @@
+//! **lock-order** — every lock is named, ranked, and acquired in rank
+//! order.
+//!
+//! PR 3's cross-query accounting race showed that the workspace's
+//! concurrency invariants lived only in prose comments that nothing
+//! checked. This lint makes them machine-readable: every `Mutex`/`RwLock`
+//! declaration in library or binary code must carry a
+//! `// LOCK-ORDER: <name> [< <parent>]… [leaf]` annotation (grammar in
+//! [`crate::locks`]), the annotations across the whole workspace must
+//! form a DAG, and every *lexically nested* acquisition must follow the
+//! declared order — acquiring `b` while holding `a` is legal only when
+//! `b` ranks (transitively) below `a`, and nothing may be acquired under
+//! a `leaf` lock.
+//!
+//! Each diagnostic message starts with a stable code word
+//! (`unannotated:`, `malformed:`, `ambiguous-field:`, `duplicate-name:`,
+//! `unknown-parent:`, `leaf-parent:`, `cycle:`, `unattributed:`,
+//! `order-violation:`), which the fixture corpus pins down. Justified
+//! order violations live in `crates/xtask/allow/locks.allow`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::locks::{self, AcqMethod, Acquisition, AnnState, LockDecl, LockKind};
+use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
+use crate::{Diagnostic, Lint};
+
+/// Runs the lint over every library/binary source file.
+pub fn run(ws: &Workspace, allow: &Allowlist) -> Vec<Diagnostic> {
+    let files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.class != FileClass::Test)
+        .collect();
+    check_files(&files, allow)
+}
+
+/// Single-file entry point for the fixture self-tests.
+pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
+    check_files(&[file], allow)
+}
+
+/// One annotated lock in the global registry.
+struct Lock {
+    file: String,
+    line: u32,
+    parents: Vec<String>,
+    leaf: bool,
+}
+
+/// The whole pipeline: declarations → registry → DAG → acquisitions.
+fn check_files(files: &[&SourceFile], allow: &Allowlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut registry: BTreeMap<String, Lock> = BTreeMap::new();
+    let mut per_file: Vec<(usize, Vec<LockDecl>)> = Vec::new();
+
+    // Pass 1: collect declarations, check annotations, build the registry.
+    for (fi, file) in files.iter().enumerate() {
+        let decls = locks::collect_decls(file);
+        let mut fields_seen: BTreeSet<&str> = BTreeSet::new();
+        for d in &decls {
+            if d.field != "<unnamed>" && !fields_seen.insert(&d.field) {
+                out.push(diag(
+                    file,
+                    d.line,
+                    format!(
+                        "ambiguous-field: a second lock field named `{}` in this \
+                         file; acquisition sites could not be attributed — rename \
+                         one of the fields",
+                        d.field
+                    ),
+                ));
+            }
+            match &d.ann {
+                AnnState::Missing => out.push(diag(
+                    file,
+                    d.line,
+                    format!(
+                        "unannotated: {} `{}` needs a `// LOCK-ORDER: <name> \
+                         [< <parent>]… [leaf]` comment on the declaration or \
+                         within {} lines above it",
+                        d.kind.type_name(),
+                        d.field,
+                        locks::ANNOTATION_WINDOW,
+                    ),
+                )),
+                AnnState::Malformed(why) => out.push(diag(
+                    file,
+                    d.line,
+                    format!(
+                        "malformed: LOCK-ORDER annotation on `{}` does not parse: {why}",
+                        d.field
+                    ),
+                )),
+                AnnState::Parsed(a) => {
+                    if let Some(prev) = registry.get(&a.name) {
+                        out.push(diag(
+                            file,
+                            d.line,
+                            format!(
+                                "duplicate-name: lock name `{}` is already declared \
+                                 at {}:{}; lock names are global",
+                                a.name, prev.file, prev.line
+                            ),
+                        ));
+                    } else {
+                        registry.insert(
+                            a.name.clone(),
+                            Lock {
+                                file: file.rel.clone(),
+                                line: d.line,
+                                parents: a.parents.clone(),
+                                leaf: a.leaf,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        per_file.push((fi, decls));
+    }
+
+    // Pass 2: validate parent references and detect cycles. Edges run
+    // parent → child ("may be held while acquiring").
+    let mut edges: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (name, lock) in &registry {
+        for p in &lock.parents {
+            match registry.get(p) {
+                None => {
+                    let file_stub = files.iter().find(|f| f.rel == lock.file);
+                    if let Some(f) = file_stub {
+                        out.push(diag(
+                            f,
+                            lock.line,
+                            format!(
+                                "unknown-parent: `{p}` (parent of `{name}`) is not a \
+                                 declared lock name anywhere in the workspace"
+                            ),
+                        ));
+                    }
+                }
+                Some(parent) if parent.leaf => {
+                    if let Some(f) = files.iter().find(|f| f.rel == lock.file) {
+                        out.push(diag(
+                            f,
+                            lock.line,
+                            format!(
+                                "leaf-parent: `{p}` is declared leaf, so nothing may \
+                                 rank below it; `{name}` cannot name it as a parent"
+                            ),
+                        ));
+                    }
+                }
+                Some(_) => edges.entry(p.as_str()).or_default().push(name.as_str()),
+            }
+        }
+    }
+    for (name, lock) in &registry {
+        if let Some(cycle) = find_cycle(name, &edges) {
+            if let Some(f) = files.iter().find(|f| f.rel == lock.file) {
+                out.push(diag(
+                    f,
+                    lock.line,
+                    format!(
+                        "cycle: the declared lock order forms a cycle: {} \
+                         (each `->` reads \"may be held while acquiring\")",
+                        cycle.join(" -> ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Pass 3: acquisition sites vs. the declared order, file by file.
+    for (fi, decls) in &per_file {
+        let file = files[*fi];
+        let field_map: BTreeMap<&str, &LockDecl> = decls
+            .iter()
+            .filter(|d| d.field != "<unnamed>")
+            .map(|d| (d.field.as_str(), d))
+            .collect();
+        let acqs = locks::collect_acquisitions(file);
+        let attributed: Vec<(&Acquisition, &LockDecl)> = acqs
+            .iter()
+            .filter_map(|a| {
+                let d = *field_map.get(a.receiver.as_deref()?)?;
+                // `.read()`/`.write()` acquire only on RwLock receivers;
+                // on anything else they are io::Read/Write calls.
+                match a.method {
+                    AcqMethod::Lock => (d.kind == LockKind::Mutex).then_some((a, d)),
+                    AcqMethod::Read | AcqMethod::Write => {
+                        (d.kind == LockKind::RwLock).then_some((a, d))
+                    }
+                }
+            })
+            .collect();
+        for a in &acqs {
+            // A `.lock()` on an identifier that resolves to no annotated
+            // lock in this file is an invisible lock — reject it.
+            let unresolved = a.method == AcqMethod::Lock
+                && a.receiver
+                    .as_deref()
+                    .is_some_and(|r| !field_map.contains_key(r));
+            if unresolved && !allow.permits(&file.rel, file.fn_ctx[a.idx].as_deref()) {
+                out.push(diag(
+                    file,
+                    a.line,
+                    format!(
+                        "unattributed: `{}.lock()` does not resolve to a declared \
+                         lock in this file; declare and annotate the lock (or \
+                         justify the site in crates/xtask/allow/locks.allow)",
+                        a.receiver.as_deref().unwrap_or("?"),
+                    ),
+                ));
+            }
+        }
+        for (inner, inner_decl) in &attributed {
+            let Some(inner_name) = inner_decl.name() else {
+                continue; // Decl already reported as unannotated/malformed.
+            };
+            for (held, held_decl) in &attributed {
+                if !held.covers(inner.idx) {
+                    continue;
+                }
+                let Some(held_name) = held_decl.name() else {
+                    continue;
+                };
+                let violation = if held_name == inner_name {
+                    Some(format!(
+                        "order-violation: re-acquiring `{inner_name}` while a guard \
+                         of it (taken on line {}) is still live — self-deadlock",
+                        held.line
+                    ))
+                } else if registry.get(held_name).is_some_and(|l| l.leaf) {
+                    Some(format!(
+                        "order-violation: `{held_name}` is a leaf lock; acquiring \
+                         `{inner_name}` while holding it (guard taken on line {}) \
+                         is forbidden",
+                        held.line
+                    ))
+                } else if !reachable(held_name, inner_name, &edges) {
+                    Some(format!(
+                        "order-violation: acquiring `{inner_name}` while holding \
+                         `{held_name}` (guard taken on line {}), but `{inner_name}` \
+                         does not rank below `{held_name}`; declare \
+                         `{inner_name} < {held_name}` or restructure (or justify \
+                         in crates/xtask/allow/locks.allow)",
+                        held.line
+                    ))
+                } else {
+                    None
+                };
+                if let Some(msg) = violation {
+                    if !allow.permits(&file.rel, file.fn_ctx[inner.idx].as_deref()) {
+                        out.push(diag(file, inner.line, msg));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn diag(file: &SourceFile, line: u32, msg: String) -> Diagnostic {
+    Diagnostic {
+        file: file.rel.clone(),
+        line,
+        lint: Lint::LockOrder,
+        msg,
+    }
+}
+
+/// True when `to` is reachable from `from` along declared edges.
+fn reachable(from: &str, to: &str, edges: &BTreeMap<&str, Vec<&str>>) -> bool {
+    let mut stack = vec![from];
+    let mut seen = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        for next in edges.get(n).map_or(&[][..], |v| v.as_slice()) {
+            if *next == to {
+                return true;
+            }
+            if seen.insert(*next) {
+                stack.push(next);
+            }
+        }
+    }
+    false
+}
+
+/// If `start` lies on a cycle, returns the cycle path `start -> … -> start`.
+fn find_cycle<'a>(start: &'a str, edges: &BTreeMap<&'a str, Vec<&'a str>>) -> Option<Vec<&'a str>> {
+    // Recursive DFS; lock graphs are tiny, so depth is never a concern.
+    fn dfs<'a>(
+        node: &'a str,
+        start: &'a str,
+        edges: &BTreeMap<&'a str, Vec<&'a str>>,
+        visited: &mut BTreeSet<&'a str>,
+        path: &mut Vec<&'a str>,
+    ) -> bool {
+        for next in edges.get(node).map_or(&[][..], |v| v.as_slice()) {
+            if *next == start {
+                path.push(start);
+                return true;
+            }
+            if visited.insert(next) {
+                path.push(next);
+                if dfs(next, start, edges, visited, path) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+    let mut path = vec![start];
+    let mut visited = BTreeSet::new();
+    dfs(start, start, edges, &mut visited, &mut path).then_some(path)
+}

@@ -1,8 +1,12 @@
-//! The four project lints. Each exposes `run(&Workspace)` plus a
-//! file-granular `check_*` entry point the fixture self-tests drive
-//! directly.
+//! The project lints. Each exposes a `run(&Workspace, …)` entry point
+//! plus a file-granular `check_*` entry point the fixture self-tests
+//! drive directly. `stale_allow` is different: it runs *after* the
+//! others, over the allowlists they consulted.
 
 pub mod accounting;
+pub mod guard_across_io;
 pub mod layering;
+pub mod lock_order;
 pub mod panic_surface;
+pub mod stale_allow;
 pub mod unsafe_audit;

@@ -10,7 +10,6 @@
 //! already panicked) are listed with reasons in
 //! `crates/xtask/allow/panics.allow`.
 
-use crate::scan::{fn_context, test_mask};
 use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
 use crate::{Diagnostic, Lint};
 
@@ -20,26 +19,23 @@ const METHODS: [&str; 2] = ["unwrap", "expect"];
 const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// Runs the lint over library sources.
-pub fn run(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
-    let allow = ws.allowlist("panics.allow")?;
+pub fn run(ws: &Workspace, allow: &Allowlist) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for file in &ws.files {
         if file.class != FileClass::Lib {
             continue;
         }
-        out.extend(check_file(file, &allow));
+        out.extend(check_file(file, allow));
     }
-    Ok(out)
+    out
 }
 
 /// Checks one file against the allowlist.
 pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
     let toks = &file.scanned.toks;
-    let mask = test_mask(toks);
-    let ctx = fn_context(toks);
     let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
-        if mask[i] {
+        if file.test_mask[i] {
             continue;
         }
         let method = METHODS.iter().any(|m| t.is_ident(m))
@@ -51,7 +47,7 @@ pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
         if !(method || mac) {
             continue;
         }
-        if allow.permits(&file.rel, ctx[i].as_deref()) {
+        if allow.permits(&file.rel, file.fn_ctx[i].as_deref()) {
             continue;
         }
         let shape = if method {

@@ -2,16 +2,26 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 Usage: cargo xtask <command>
 
 Commands:
-  analyze [--root <path>]   run the project lints over the workspace
+  analyze [--root <path>] [--format text|json]
+                            run the project lints over the workspace
   analyze --self-test       verify the lints against the fixture corpus
 
-Lints: accounting, unsafe-audit, panic-surface, layering.
+Lints: accounting, unsafe-audit, panic-surface, layering, lock-order,
+guard-across-io, stale-allow.
 See DESIGN.md \"Static analysis & invariants\" for what each enforces.";
+
+/// Output format for analyze findings.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +46,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     let mut root: Option<PathBuf> = None;
     let mut self_test = false;
+    let mut format = Format::Text;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => {
@@ -43,6 +54,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 root = Some(PathBuf::from(p));
             }
             "--self-test" => self_test = true,
+            "--format" => {
+                let f = it
+                    .next()
+                    .ok_or_else(|| "--format needs `text` or `json`".to_string())?;
+                format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
+            }
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
     }
@@ -52,22 +73,43 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
 
     if self_test {
+        let started = Instant::now();
         let failures = xtask::selftest::self_test(&root)?;
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         if failures.is_empty() {
-            println!("xtask analyze --self-test: fixture corpus OK");
+            println!("xtask analyze --self-test: fixture corpus OK ({elapsed_ms:.1} ms)");
             return Ok(ExitCode::SUCCESS);
         }
         for f in &failures {
             eprintln!("self-test failure: {f}");
         }
-        eprintln!("xtask analyze --self-test: {} failure(s)", failures.len());
+        eprintln!(
+            "xtask analyze --self-test: {} failure(s) ({elapsed_ms:.1} ms)",
+            failures.len()
+        );
         return Ok(ExitCode::FAILURE);
     }
 
     let diags = xtask::analyze(&root)?;
+    if format == Format::Json {
+        // One JSON array; findings as objects. An empty array is still
+        // valid output for downstream tooling.
+        println!("[");
+        for (i, d) in diags.iter().enumerate() {
+            let comma = if i + 1 < diags.len() { "," } else { "" };
+            println!("  {}{comma}", d.to_json());
+        }
+        println!("]");
+        return Ok(if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     if diags.is_empty() {
         println!(
-            "xtask analyze: workspace clean (accounting, unsafe-audit, panic-surface, layering)"
+            "xtask analyze: workspace clean (accounting, unsafe-audit, panic-surface, \
+             layering, lock-order, guard-across-io, stale-allow)"
         );
         return Ok(ExitCode::SUCCESS);
     }

@@ -6,12 +6,14 @@
 //! (`#~ ERROR <lint-name>` in TOML); the harness requires the produced
 //! diagnostics to match the markers *exactly* — same file, same line, same
 //! lint — so a lint that drifts quiet or noisy fails the suite either way.
+//! A marker may pin the message too: `//~ ERROR lock-order: cycle`
+//! additionally requires the diagnostic's message to contain `cycle`,
+//! which is how the corpus distinguishes a lint's error codes.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lints;
-use crate::scan;
 use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
 use crate::{Diagnostic, Lint};
 
@@ -100,33 +102,89 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
     check_tree_fixture(&fixtures.join("layering/bad"), &mut failures)?;
     check_tree_fixture(&fixtures.join("layering/good"), &mut failures)?;
 
+    // lock-order: one fixture per concern — every per-declaration and
+    // per-acquisition error code, the declared-order cycle, and a clean
+    // hierarchy whose one violation is allowlisted.
+    let allow_locks = Allowlist::parse(
+        "# self-test: the fixtures' justified lock-discipline sites\n\
+         crates/experiments/src/fixture.rs::allowlisted_site\n",
+    );
+    check_file_fixture(
+        &fixtures.join("lock_order/fail.rs"),
+        |f| lints::lock_order::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    check_file_fixture(
+        &fixtures.join("lock_order/cycle.rs"),
+        |f| lints::lock_order::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    check_file_fixture(
+        &fixtures.join("lock_order/pass.rs"),
+        |f| lints::lock_order::check_file(f, &allow_locks),
+        &mut failures,
+    )?;
+
+    // guard-across-io: guards live across page I/O trip; guards dropped
+    // (block scope or explicit drop) before I/O, or allowlisted, do not.
+    check_file_fixture(
+        &fixtures.join("guard_across_io/fail.rs"),
+        |f| lints::guard_across_io::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    check_file_fixture(
+        &fixtures.join("guard_across_io/pass.rs"),
+        |f| lints::guard_across_io::check_file(f, &allow_locks),
+        &mut failures,
+    )?;
+
+    // stale-allow: a consulted entry stays quiet, an unmatched one is
+    // reported with its own file/line.
+    let stale = Allowlist::parse("crates/experiments/src/fixture.rs::used\nnever/matched.rs\n");
+    stale.permits("crates/experiments/src/fixture.rs", Some("used"));
+    let got = lints::stale_allow::check(&[("test.allow", &stale)]);
+    if got.len() != 1
+        || got[0].line != 2
+        || got[0].lint != Lint::StaleAllow
+        || !got[0].msg.contains("never/matched.rs")
+    {
+        failures.push(format!(
+            "stale-allow: expected exactly the `never/matched.rs` entry at line 2, got {got:?}"
+        ));
+    }
+
     Ok(failures)
 }
 
 /// Loads a fixture file as library code of a pretend `experiments` crate.
 fn load_fixture(path: &Path) -> Result<SourceFile, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    Ok(SourceFile {
-        rel: "crates/experiments/src/fixture.rs".to_string(),
-        class: FileClass::Lib,
-        crate_dir: Some("experiments".to_string()),
-        scanned: scan::scan(&text),
-    })
+    Ok(SourceFile::new(
+        "crates/experiments/src/fixture.rs".to_string(),
+        FileClass::Lib,
+        Some("experiments".to_string()),
+        &text,
+    ))
 }
 
-/// `(line, lint)` for every `~ ERROR <name>` marker in `text`.
-fn expected_markers(text: &str) -> Vec<(u32, Lint)> {
+/// One expected finding: line, lint, and an optional required message
+/// substring (`//~ ERROR <lint>[: <substring>]`).
+type Marker = (u32, Lint, Option<String>);
+
+/// Every `~ ERROR <name>[: <substring>]` marker in `text`.
+fn expected_markers(text: &str) -> Vec<Marker> {
     let mut out = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let Some(pos) = line.find("~ ERROR ") else {
             continue;
         };
-        let name = line[pos + "~ ERROR ".len()..]
-            .split_whitespace()
-            .next()
-            .unwrap_or("");
+        let rest = line[pos + "~ ERROR ".len()..].trim();
+        let (name, substr) = match rest.split_once(':') {
+            Some((n, s)) => (n.trim(), Some(s.trim().to_string())),
+            None => (rest.split_whitespace().next().unwrap_or(""), None),
+        };
         if let Some(lint) = Lint::from_name(name) {
-            out.push((idx as u32 + 1, lint));
+            out.push((idx as u32 + 1, lint, substr.filter(|s| !s.is_empty())));
         }
     }
     out
@@ -163,7 +221,7 @@ fn check_tree_fixture(tree: &Path, failures: &mut Vec<String>) -> Result<(), Str
     Ok(())
 }
 
-fn collect_tree_markers(dir: &Path, out: &mut Vec<(u32, Lint)>) -> Result<(), String> {
+fn collect_tree_markers(dir: &Path, out: &mut Vec<Marker>) -> Result<(), String> {
     let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
     let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
     paths.sort();
@@ -177,23 +235,39 @@ fn collect_tree_markers(dir: &Path, out: &mut Vec<(u32, Lint)>) -> Result<(), St
     Ok(())
 }
 
-/// Compares expected `(line, lint)` pairs against produced diagnostics.
-fn compare(
-    name: &str,
-    mut expected: Vec<(u32, Lint)>,
-    got: Vec<Diagnostic>,
-    failures: &mut Vec<String>,
-) {
+/// Compares expected markers against produced diagnostics: the `(line,
+/// lint)` multisets must match exactly, and every marker substring must
+/// appear in a diagnostic at its line.
+fn compare(name: &str, expected: Vec<Marker>, got: Vec<Diagnostic>, failures: &mut Vec<String>) {
+    let mut want: Vec<(u32, Lint)> = expected.iter().map(|(l, lint, _)| (*l, *lint)).collect();
     let mut actual: Vec<(u32, Lint)> = got.iter().map(|d| (d.line, d.lint)).collect();
-    expected.sort_unstable();
+    want.sort_unstable();
     actual.sort_unstable();
-    if expected != actual {
+    if want != actual {
         failures.push(format!(
-            "{name}: expected {expected:?}, got {actual:?}\n  diagnostics: {}",
+            "{name}: expected {want:?}, got {actual:?}\n  diagnostics: {}",
             got.iter()
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
                 .join("; ")
         ));
+        return;
+    }
+    for (line, lint, substr) in &expected {
+        let Some(substr) = substr else { continue };
+        let hit = got
+            .iter()
+            .any(|d| d.line == *line && d.lint == *lint && d.msg.contains(substr.as_str()));
+        if !hit {
+            failures.push(format!(
+                "{name}: line {line} [{lint}] message does not contain `{substr}`; \
+                 diagnostics: {}",
+                got.iter()
+                    .filter(|d| d.line == *line)
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Workspace discovery: which files exist, what role each plays, and the
 //! allowlists that carve out justified exceptions.
 
+use std::cell::Cell;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -19,6 +20,11 @@ pub enum FileClass {
 }
 
 /// One scanned source file.
+///
+/// Each file is read and tokenized exactly once, at workspace load; the
+/// token stream plus the derived per-token test mask and function context
+/// are shared by every lint, so adding a lint never adds a filesystem
+/// pass.
 pub struct SourceFile {
     /// Workspace-relative path with forward slashes.
     pub rel: String,
@@ -29,6 +35,29 @@ pub struct SourceFile {
     pub crate_dir: Option<String>,
     /// Token/comment scan of the file.
     pub scanned: Scanned,
+    /// Parallel to `scanned.toks`: `true` for tokens inside test-gated
+    /// items (see [`scan::test_mask`]).
+    pub test_mask: Vec<bool>,
+    /// Parallel to `scanned.toks`: the innermost enclosing named `fn`
+    /// (see [`scan::fn_context`]).
+    pub fn_ctx: Vec<Option<String>>,
+}
+
+impl SourceFile {
+    /// Scans `text` once and precomputes the shared per-token views.
+    pub fn new(rel: String, class: FileClass, crate_dir: Option<String>, text: &str) -> Self {
+        let scanned = scan::scan(text);
+        let test_mask = scan::test_mask(&scanned.toks);
+        let fn_ctx = scan::fn_context(&scanned.toks);
+        SourceFile {
+            rel,
+            class,
+            crate_dir,
+            scanned,
+            test_mask,
+            fn_ctx,
+        }
+    }
 }
 
 /// The loaded workspace: every source file plus the allowlists.
@@ -132,12 +161,7 @@ fn collect_dir(
             let (class, crate_dir) = classify(&rel);
             let text = fs::read_to_string(&path)
                 .map_err(|e| format!("reading {}: {e}", path.display()))?;
-            out.push(SourceFile {
-                rel,
-                class,
-                crate_dir,
-                scanned: scan::scan(&text),
-            });
+            out.push(SourceFile::new(rel, class, crate_dir, &text));
         }
     }
     Ok(())
@@ -157,6 +181,26 @@ pub struct AllowEntry {
     pub path: String,
     /// `Some(fn_name)` restricts the entry to one function.
     pub func: Option<String>,
+    /// 1-based line of the entry in its `.allow` file.
+    pub line: u32,
+    /// Set when the entry suppressed (or would suppress) a real finding
+    /// during an analyze run; entries still `false` afterwards are stale.
+    used: Cell<bool>,
+}
+
+impl AllowEntry {
+    /// The entry as written (`path` or `path::func`).
+    pub fn display(&self) -> String {
+        match &self.func {
+            Some(f) => format!("{}::{f}", self.path),
+            None => self.path.clone(),
+        }
+    }
+
+    /// True if the entry matched a site during the current run.
+    pub fn is_used(&self) -> bool {
+        self.used.get()
+    }
 }
 
 /// A parsed allowlist (`crates/xtask/allow/*.allow`).
@@ -165,6 +209,10 @@ pub struct AllowEntry {
 /// `path/to/file.rs::function_name`. Blank lines and `#` comments are
 /// ignored; the convention is that every entry (or block of entries) carries
 /// a `#` comment justifying it.
+///
+/// Every [`Allowlist::permits`] hit marks the matching entries as used;
+/// the `stale-allow` lint reports entries that matched nothing, so
+/// suppressions cannot outlive the site they were written for.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     entries: Vec<AllowEntry>,
@@ -175,16 +223,21 @@ impl Allowlist {
     pub fn parse(text: &str) -> Self {
         let entries = text
             .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .map(|l| match l.split_once("::") {
+            .enumerate()
+            .map(|(idx, l)| (idx as u32 + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+            .map(|(line, l)| match l.split_once("::") {
                 Some((path, func)) => AllowEntry {
                     path: path.trim().to_string(),
                     func: Some(func.trim().to_string()),
+                    line,
+                    used: Cell::new(false),
                 },
                 None => AllowEntry {
                     path: l.to_string(),
                     func: None,
+                    line,
+                    used: Cell::new(false),
                 },
             })
             .collect();
@@ -192,15 +245,27 @@ impl Allowlist {
     }
 
     /// True if `file` (optionally within function `func`) is allowlisted.
+    /// Marks every matching entry as used.
     pub fn permits(&self, file: &str, func: Option<&str>) -> bool {
-        self.entries.iter().any(|e| {
-            e.path == file
+        let mut hit = false;
+        for e in &self.entries {
+            let matches = e.path == file
                 && match (&e.func, func) {
                     (None, _) => true,
                     (Some(want), Some(have)) => want == have,
                     (Some(_), None) => false,
-                }
-        })
+                };
+            if matches {
+                e.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// All entries, in file order (with their usage flags).
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
     }
 }
 
@@ -219,5 +284,14 @@ mod tests {
         assert!(!a.permits("crates/b/src/y.rs", Some("other")));
         assert!(!a.permits("crates/b/src/y.rs", None));
         assert!(!a.permits("crates/c/src/z.rs", None));
+    }
+
+    #[test]
+    fn permits_marks_entries_used() {
+        let a = Allowlist::parse("# reason\ncrates/a/src/x.rs\ncrates/b/src/y.rs::helper\n");
+        assert!(a.permits("crates/a/src/x.rs", Some("any")));
+        let flags: Vec<(u32, bool)> = a.entries().iter().map(|e| (e.line, e.is_used())).collect();
+        assert_eq!(flags, vec![(2, true), (3, false)]);
+        assert_eq!(a.entries()[1].display(), "crates/b/src/y.rs::helper");
     }
 }

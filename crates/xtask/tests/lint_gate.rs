@@ -1,6 +1,7 @@
 //! The live workspace must satisfy its own invariants: `xtask analyze`
-//! runs here as a test, so `cargo test --workspace` alone gates the four
-//! project lints without needing the separate CI step.
+//! runs here as a test, so `cargo test --workspace` alone gates every
+//! project lint (including lock-order, guard-across-io and the
+//! stale-allowlist check) without needing the separate CI step.
 
 use std::path::PathBuf;
 
@@ -12,7 +13,7 @@ fn repo_root() -> PathBuf {
 }
 
 #[test]
-fn workspace_is_clean_under_all_four_lints() {
+fn workspace_is_clean_under_all_lints() {
     let diags = xtask::analyze(&repo_root()).expect("workspace readable");
     assert!(
         diags.is_empty(),
