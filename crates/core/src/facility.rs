@@ -81,6 +81,30 @@ impl ScanCounters {
     }
 }
 
+impl std::ops::Add for ScanStats {
+    type Output = ScanStats;
+
+    fn add(self, rhs: ScanStats) -> ScanStats {
+        ScanStats {
+            logical_pages: self.logical_pages + rhs.logical_pages,
+            physical_pages: self.physical_pages + rhs.physical_pages,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ScanStats {
+    fn add_assign(&mut self, rhs: ScanStats) {
+        self.logical_pages += rhs.logical_pages;
+        self.physical_pages += rhs.physical_pages;
+    }
+}
+
+impl std::iter::Sum for ScanStats {
+    fn sum<I: Iterator<Item = ScanStats>>(iter: I) -> ScanStats {
+        iter.fold(ScanStats::default(), |acc, s| acc + s)
+    }
+}
+
 /// The candidate objects (*drops*) produced by the filtering stage of a set
 /// access facility, before false-drop resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +134,21 @@ impl CandidateSet {
     /// True when no candidate survived the filter.
     pub fn is_empty(&self) -> bool {
         self.oids.is_empty()
+    }
+
+    /// Unions candidate sets produced by disjoint partitions of one store
+    /// (the sharded query path): OIDs are pooled, re-sorted and
+    /// deduplicated, and the union is exact only when *every* part was —
+    /// a single inexact shard means the merged drops still need
+    /// resolution.
+    pub fn union<I: IntoIterator<Item = CandidateSet>>(parts: I) -> CandidateSet {
+        let mut oids = Vec::new();
+        let mut exact = true;
+        for part in parts {
+            exact &= part.exact;
+            oids.extend(part.oids);
+        }
+        CandidateSet::new(oids, exact)
     }
 }
 
@@ -183,6 +222,47 @@ mod tests {
         let c = CandidateSet::new(vec![], true);
         assert!(c.is_empty());
         assert!(c.exact);
+    }
+
+    #[test]
+    fn scan_stats_sum_componentwise() {
+        let a = ScanStats {
+            logical_pages: 3,
+            physical_pages: 5,
+        };
+        let b = ScanStats {
+            logical_pages: 2,
+            physical_pages: 2,
+        };
+        assert_eq!(
+            a + b,
+            ScanStats {
+                logical_pages: 5,
+                physical_pages: 7
+            }
+        );
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!([a, b].into_iter().sum::<ScanStats>(), a + b);
+        assert_eq!(
+            std::iter::empty::<ScanStats>().sum::<ScanStats>(),
+            ScanStats::default()
+        );
+    }
+
+    #[test]
+    fn union_pools_sorts_and_tracks_exactness() {
+        let a = CandidateSet::new(vec![Oid::new(5), Oid::new(1)], true);
+        let b = CandidateSet::new(vec![Oid::new(3), Oid::new(1)], true);
+        let u = CandidateSet::union([a.clone(), b.clone()]);
+        assert_eq!(u.oids, vec![Oid::new(1), Oid::new(3), Oid::new(5)]);
+        assert!(u.exact, "all-exact parts stay exact");
+        let inexact = CandidateSet::new(vec![Oid::new(9)], false);
+        assert!(!CandidateSet::union([a, inexact]).exact);
+        // The empty union is the exact empty answer.
+        let empty = CandidateSet::union(std::iter::empty());
+        assert!(empty.is_empty() && empty.exact);
     }
 
     #[test]

@@ -134,10 +134,13 @@ pub fn run(scale: u64, trials: u32) -> DriftReport {
     let sim = crate::exhibits::obs_sim(&opts, d_t);
     let mut points = Vec::new();
 
-    // fig5: plain superset, BSSF small m vs NIX.
+    // fig5: plain superset, BSSF small m vs NIX. The BSSF runs behind
+    // the sharded query service (1 shard unless SETSIG_SHARDS says
+    // otherwise, where it is answer- and page-identical to the flat
+    // facility) so the drift gate also guards the service path.
     {
         let (f, m) = (500u32, 2u32);
-        let bssf = sim.build_bssf(f, m);
+        let bssf = sim.build_bssf_service(f, m);
         let nix = sim.build_nix();
         let bssf_model = BssfModel::new(p, f, m, d_t);
         let nix_model = NixModel::new(p, d_t);
@@ -171,7 +174,7 @@ pub fn run(scale: u64, trials: u32) -> DriftReport {
     {
         let (f, m) = (500u32, 2u32);
         let ssf = sim.build_ssf(f, m);
-        let bssf = sim.build_bssf(f, m);
+        let bssf = sim.build_bssf_service(f, m);
         let nix = sim.build_nix();
         let ssf_model = SsfModel::new(p, f, m, d_t);
         let bssf_model = BssfModel::new(p, f, m, d_t);

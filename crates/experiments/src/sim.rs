@@ -13,6 +13,7 @@ use setsig_nix::Nix;
 use setsig_obs::{Recorder, RingSink, TraceSink};
 use setsig_oodb::{AttrType, ClassDef, ClassId, Database, Value};
 use setsig_pagestore::PageIo;
+use setsig_service::{shard_of, QueryService, ServiceConfig};
 use setsig_workload::{QueryGen, SetGenerator, WorkloadConfig};
 use std::sync::Arc;
 
@@ -82,6 +83,11 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Buffer-pool capacity in frames; `None` leaves reads uncached.
     pub pool_pages: Option<usize>,
+    /// OID-hash shards for the query service (`1` = unsharded; answers
+    /// and page charges are then identical to the flat facility).
+    pub shards: usize,
+    /// Admission-queue depth of the query service, in shard-tasks.
+    pub queue_depth: usize,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +95,8 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 1,
             pool_pages: None,
+            shards: 1,
+            queue_depth: ServiceConfig::DEFAULT_QUEUE_DEPTH,
         }
     }
 }
@@ -99,8 +107,10 @@ impl EngineConfig {
         Self::default()
     }
 
-    /// Reads `SETSIG_THREADS` (scan worker count, default 1) and
-    /// `SETSIG_POOL_PAGES` (buffer-pool frames, default none) so any
+    /// Reads `SETSIG_THREADS` (scan worker count, default 1),
+    /// `SETSIG_POOL_PAGES` (buffer-pool frames, default none),
+    /// `SETSIG_SHARDS` (query-service shards, default 1), and
+    /// `SETSIG_QUEUE_DEPTH` (service admission queue, default 64) so any
     /// exhibit binary can flip engines without a rebuild.
     ///
     /// Panics on an invalid value. A knob that silently fell back to the
@@ -140,7 +150,17 @@ impl EngineConfig {
         Ok(EngineConfig {
             threads: knob("SETSIG_THREADS", get("SETSIG_THREADS"))?.unwrap_or(1),
             pool_pages: knob("SETSIG_POOL_PAGES", get("SETSIG_POOL_PAGES"))?,
+            shards: knob("SETSIG_SHARDS", get("SETSIG_SHARDS"))?.unwrap_or(1),
+            queue_depth: knob("SETSIG_QUEUE_DEPTH", get("SETSIG_QUEUE_DEPTH"))?
+                .unwrap_or(ServiceConfig::DEFAULT_QUEUE_DEPTH),
         })
+    }
+
+    /// The service-layer sizing these knobs spell: `shards` partitions,
+    /// the configured queue depth, workers tracking shards (capped in
+    /// [`ServiceConfig::new`]).
+    pub fn service_config(&self) -> ServiceConfig {
+        ServiceConfig::new(self.shards).with_queue_depth(self.queue_depth)
     }
 }
 
@@ -286,6 +306,59 @@ impl SimDb {
         bssf.bulk_load(&items).expect("bulk load");
         self.db.disk().reset_stats();
         bssf
+    }
+
+    /// Builds a sharded BSSF query service over the instance, with engine
+    /// knobs (shard count, queue depth, scan threads, pool pages) from the
+    /// environment. With `SETSIG_SHARDS` unset this is a 1-shard service
+    /// whose answers and page charges are identical to [`build_bssf`]
+    /// (see [`Self::build_bssf`]) — which is what lets the drift gates run
+    /// through the service without loosening a tolerance.
+    pub fn build_bssf_service(&self, f: u32, m: u32) -> QueryService<Bssf> {
+        self.build_bssf_service_with(f, m, EngineConfig::from_env())
+    }
+
+    /// Builds a sharded BSSF query service with explicit engine knobs:
+    /// the instance's objects are partitioned by [`shard_of`], each
+    /// shard bulk-loads its slice into its own BSSF (named
+    /// `bssf-f{f}-m{m}-s{shard}` on the shared accounting disk), and the
+    /// shards are wired into a [`QueryService`] worker pool sharing this
+    /// instance's recorder.
+    pub fn build_bssf_service_with(
+        &self,
+        f: u32,
+        m: u32,
+        engine: EngineConfig,
+    ) -> QueryService<Bssf> {
+        let cfg = SignatureConfig::new(f, m).expect("valid signature config");
+        let service_cfg = engine.service_config();
+        let mut partitions: Vec<Vec<(Oid, Vec<ElementKey>)>> = vec![Vec::new(); engine.shards];
+        for (i, set) in self.sets.iter().enumerate() {
+            let oid = Oid::new(i as u64);
+            partitions[shard_of(oid, engine.shards)]
+                .push((oid, set.iter().map(|&e| ElementKey::from(e)).collect()));
+        }
+        let facilities: Vec<Bssf> = partitions
+            .iter()
+            .enumerate()
+            .map(|(shard, items)| {
+                let name = format!("bssf-f{f}-m{m}-s{shard}");
+                let mut bssf = match engine.pool_pages {
+                    Some(pages) => {
+                        Bssf::create_cached(Arc::clone(self.db.disk()), &name, cfg, pages)
+                            .expect("create")
+                    }
+                    None => Bssf::create(self.io(), &name, cfg).expect("create"),
+                };
+                bssf.set_parallelism(engine.threads);
+                bssf.set_recorder(self.recorder.clone());
+                bssf.bulk_load(items).expect("bulk load");
+                bssf
+            })
+            .collect();
+        self.db.disk().reset_stats();
+        QueryService::with_recorder(facilities, service_cfg, self.recorder.clone())
+            .expect("valid service config")
     }
 
     /// Builds a frame-sliced signature file over the instance.
@@ -446,6 +519,27 @@ mod tests {
     }
 
     #[test]
+    fn engine_env_spells_the_service_layout() {
+        let cfg = EngineConfig::from_lookup(lookup(&[
+            ("SETSIG_SHARDS", "4"),
+            ("SETSIG_QUEUE_DEPTH", " 16 "),
+        ]))
+        .unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.queue_depth, 16);
+        let svc = cfg.service_config();
+        assert_eq!(svc.shards, 4);
+        assert_eq!(svc.queue_depth, 16);
+        assert!(svc.validate().is_ok());
+        // Unset shards means the unsharded, drift-identical layout.
+        let default = EngineConfig::from_lookup(lookup(&[])).unwrap();
+        assert_eq!(default.shards, 1);
+        assert_eq!(default.queue_depth, ServiceConfig::DEFAULT_QUEUE_DEPTH);
+        let err = EngineConfig::from_lookup(lookup(&[("SETSIG_SHARDS", "0")])).unwrap_err();
+        assert!(err.contains("SETSIG_SHARDS"), "{err}");
+    }
+
+    #[test]
     fn engine_env_rejects_zero_negative_and_garbage() {
         for bad in ["0", "-3", "eight", "2.5", "1e3"] {
             let err = EngineConfig::from_lookup(lookup(&[("SETSIG_THREADS", bad)])).unwrap_err();
@@ -530,7 +624,7 @@ mod tests {
             2,
             EngineConfig {
                 threads: 4,
-                pool_pages: None,
+                ..EngineConfig::serial()
             },
         );
         let mut qg = sim.query_gen(9);
@@ -565,6 +659,7 @@ mod tests {
             EngineConfig {
                 threads: 2,
                 pool_pages: Some(64),
+                ..EngineConfig::serial()
             },
         );
         let plain = sim.build_ssf_with(128, 2, EngineConfig::serial());

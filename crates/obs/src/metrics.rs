@@ -41,6 +41,21 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Adjusts the gauge by `delta` (negative to decrement) — the shape a
+    /// level gauge (queue depth, in-flight work) wants, where concurrent
+    /// increments and decrements must not lose updates the way
+    /// read-modify-`set` would.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value — a
+    /// high-water mark (peak queue depth), race-free under concurrent
+    /// observers.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -332,6 +347,42 @@ mod tests {
         g.set(42);
         g.set(-3);
         assert_eq!(r.snapshot().get_gauge("pool.pages"), Some(-3));
+    }
+
+    #[test]
+    fn gauge_add_and_high_water_mark() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("q.depth");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        let peak = r.gauge("q.peak");
+        peak.set_max(3);
+        peak.set_max(1); // lower value must not regress the mark
+        assert_eq!(peak.get(), 3);
+        peak.set_max(9);
+        assert_eq!(peak.get(), 9);
+    }
+
+    #[test]
+    fn concurrent_gauge_adds_balance_to_zero() {
+        let r = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let g = r.gauge("level");
+                    for _ in 0..500 {
+                        g.add(1);
+                        g.add(-1);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(r.snapshot().get_gauge("level"), Some(0));
     }
 
     #[test]

@@ -40,6 +40,24 @@ impl CacheStats {
     }
 }
 
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
 /// Sentinel for "no neighbour" in the intrusive LRU list.
 const NIL: usize = usize::MAX;
 
@@ -250,6 +268,33 @@ mod tests {
         let disk = Arc::new(Disk::new());
         let pool = BufferPool::new(Arc::clone(&disk), cap);
         (disk, pool)
+    }
+
+    #[test]
+    fn cache_stats_sum_componentwise() {
+        let a = CacheStats {
+            hits: 2,
+            misses: 3,
+            evictions: 1,
+        };
+        let b = CacheStats {
+            hits: 5,
+            misses: 0,
+            evictions: 4,
+        };
+        let s = a + b;
+        assert_eq!(
+            s,
+            CacheStats {
+                hits: 7,
+                misses: 3,
+                evictions: 5
+            }
+        );
+        let mut acc = CacheStats::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, s);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::{Diagnostic, Lint};
 /// The workspace DAG: crate dir → setsig crates it may depend on.
 ///
 /// Order follows the build layering, bottom to top.
-const ALLOWED_DEPS: [(&str, &[&str]); 10] = [
+const ALLOWED_DEPS: [(&str, &[&str]); 11] = [
     ("pagestore", &[]),
     ("obs", &[]),
     ("core", &["pagestore", "obs"]),
@@ -34,6 +34,7 @@ const ALLOWED_DEPS: [(&str, &[&str]); 10] = [
     ("oodb", &["pagestore", "core"]),
     ("costmodel", &[]),
     ("workload", &[]),
+    ("service", &["pagestore", "obs", "core"]),
     (
         "experiments",
         &[
@@ -44,6 +45,7 @@ const ALLOWED_DEPS: [(&str, &[&str]); 10] = [
             "oodb",
             "costmodel",
             "workload",
+            "service",
         ],
     ),
     (
@@ -56,6 +58,7 @@ const ALLOWED_DEPS: [(&str, &[&str]); 10] = [
             "oodb",
             "costmodel",
             "workload",
+            "service",
             "experiments",
         ],
     ),

@@ -124,6 +124,13 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
         |f| lints::lock_order::check_file(f, &allow_locks),
         &mut failures,
     )?;
+    // The query-service shard hierarchy: admission queue over shard
+    // locks over the pending leaf, plus both inverted acquisitions.
+    check_file_fixture(
+        &fixtures.join("lock_order/shard_hierarchy.rs"),
+        |f| lints::lock_order::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
 
     // guard-across-io: guards live across page I/O trip; guards dropped
     // (block scope or explicit drop) before I/O, or allowlisted, do not.

@@ -18,6 +18,8 @@
 //! | [`nix`] | `setsig-nix` | B-tree nested index baseline |
 //! | [`costmodel`] | `setsig-costmodel` | every equation of the paper, plus the design advisor |
 //! | [`workload`] | `setsig-workload` | synthetic data, query generators, mixed-operation traces |
+//! | [`obs`] | `setsig-obs` | per-query tracing, metrics registry, recorders |
+//! | [`service`] | `setsig-service` | sharded concurrent query service: OID-hash partitioning, worker-pool admission, live updates |
 //!
 //! ## Quickstart
 //!
@@ -58,8 +60,10 @@
 pub use setsig_core as core;
 pub use setsig_costmodel as costmodel;
 pub use setsig_nix as nix;
+pub use setsig_obs as obs;
 pub use setsig_oodb as oodb;
 pub use setsig_pagestore as pagestore;
+pub use setsig_service as service;
 pub use setsig_workload as workload;
 
 /// The names most programs need, in one import.
@@ -72,5 +76,6 @@ pub mod prelude {
     pub use setsig_nix::Nix;
     pub use setsig_oodb::{AttrType, ClassDef, Database, Value};
     pub use setsig_pagestore::{BufferPool, CacheStats, Disk, PageIo};
+    pub use setsig_service::{shard_of, QueryService, ServiceConfig, ShardRouter};
     pub use setsig_workload::{QueryGen, SetGenerator, WorkloadConfig};
 }

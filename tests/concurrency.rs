@@ -4,6 +4,8 @@
 
 use setsig::nix::Nix;
 use setsig::prelude::*;
+use setsig::workload::{generate_trace, TraceConfig, TraceOp};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 #[test]
@@ -273,4 +275,175 @@ fn concurrent_io_accounting_is_exact() {
         h.join().unwrap();
     }
     assert_eq!(disk.snapshot().reads, threads * reads_each);
+}
+
+/// A trace op with its victims pre-resolved, so the sharded service and
+/// the serial oracle replay *the same* concrete operations.
+enum ResolvedOp {
+    Insert(Oid, Vec<u64>),
+    Delete(Oid, Vec<u64>),
+    Superset(Vec<u64>),
+    Subset(Vec<u64>),
+}
+
+/// The oracle differential: a randomized mixed trace (inserts, deletes,
+/// queries) runs against a 4-shard BSSF query service with the chunk's
+/// mutations applied from concurrent writer threads while a reader
+/// hammers the pool; at every quiescent point the chunk's queries are
+/// answered by both the service and a serial single-file oracle that
+/// replayed the identical op-log, and the candidate sets must agree
+/// exactly — a BSSF match depends only on the object's signature, never
+/// on shard placement or admission order.
+#[test]
+fn sharded_service_agrees_with_a_serial_oracle_at_quiescent_points() {
+    use setsig::service::{QueryService, ServiceConfig};
+
+    let trace = generate_trace(&TraceConfig {
+        domain: 100,
+        d_t: 5,
+        d_q_superset: 2,
+        d_q_subset: 10,
+        weights: [35, 10, 30, 25],
+        length: 400,
+        seed: 0x0_5ac1e,
+    });
+
+    // Resolve Delete victims against a serial model up front: both sides
+    // then execute byte-identical op-logs.
+    let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut next = 0u64;
+    let mut ops: Vec<ResolvedOp> = Vec::new();
+    for op in &trace {
+        match op {
+            TraceOp::Insert { set } => {
+                let oid = Oid::new(next);
+                next += 1;
+                model.insert(oid.raw(), set.clone());
+                ops.push(ResolvedOp::Insert(oid, set.clone()));
+            }
+            TraceOp::Delete { victim } => {
+                if model.is_empty() {
+                    continue;
+                }
+                let idx = (*victim as usize) % model.len();
+                let (&raw, set) = model.iter().nth(idx).map(|(k, v)| (k, v.clone())).unwrap();
+                model.remove(&raw);
+                ops.push(ResolvedOp::Delete(Oid::new(raw), set));
+            }
+            TraceOp::SupersetQuery { query } => ops.push(ResolvedOp::Superset(query.clone())),
+            TraceOp::SubsetQuery { query } => ops.push(ResolvedOp::Subset(query.clone())),
+        }
+    }
+
+    let sig = || SignatureConfig::new(64, 2).unwrap();
+    let keys =
+        |set: &[u64]| -> Vec<ElementKey> { set.iter().map(|&e| ElementKey::from(e)).collect() };
+
+    let service_disk = Arc::new(Disk::new());
+    let shards = 4usize;
+    let facilities: Vec<Bssf> = (0..shards)
+        .map(|i| {
+            Bssf::create(
+                Arc::clone(&service_disk) as Arc<dyn PageIo>,
+                &format!("svc{i}"),
+                sig(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let svc = Arc::new(
+        QueryService::new(facilities, ServiceConfig::new(shards).with_queue_depth(16)).unwrap(),
+    );
+    let mut oracle =
+        Bssf::create(Arc::new(Disk::new()) as Arc<dyn PageIo>, "oracle", sig()).unwrap();
+
+    let probe = SetQuery::has_subset(vec![ElementKey::from(1u64)]);
+    let mut ever_inserted: BTreeSet<u64> = BTreeSet::new();
+
+    for chunk in ops.chunks(50) {
+        // Split the chunk's mutations across two writers by OID, so
+        // per-object order (insert before its delete) is preserved while
+        // the writers genuinely race on the shard locks.
+        let mut lanes: [Vec<(bool, Oid, Vec<u64>)>; 2] = [Vec::new(), Vec::new()];
+        for op in chunk {
+            match op {
+                ResolvedOp::Insert(oid, set) => {
+                    ever_inserted.insert(oid.raw());
+                    lanes[(oid.raw() % 2) as usize].push((true, *oid, set.clone()));
+                }
+                ResolvedOp::Delete(oid, set) => {
+                    lanes[(oid.raw() % 2) as usize].push((false, *oid, set.clone()));
+                }
+                _ => {}
+            }
+        }
+        let writers: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for (is_insert, oid, set) in lane {
+                        let keys: Vec<ElementKey> =
+                            set.iter().map(|&e| ElementKey::from(e)).collect();
+                        if is_insert {
+                            svc.insert(oid, &keys).unwrap();
+                        } else {
+                            svc.delete(oid, &keys).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let svc = Arc::clone(&svc);
+            let probe = probe.clone();
+            let known = ever_inserted.clone();
+            std::thread::spawn(move || {
+                for _ in 0..15 {
+                    let (set, _) = svc.query(&probe).unwrap();
+                    // Mid-churn answers are transient but never invented:
+                    // sorted, deduplicated, and only ever-inserted OIDs.
+                    for w in set.oids.windows(2) {
+                        assert!(w[0] < w[1], "duplicated candidate {}", w[0]);
+                    }
+                    for oid in &set.oids {
+                        assert!(known.contains(&oid.raw()), "phantom candidate {oid}");
+                    }
+                }
+            })
+        };
+        for w in writers {
+            w.join().expect("writer");
+        }
+        reader.join().expect("reader");
+
+        // Quiescent point: the oracle replays the identical mutations
+        // serially, then both sides answer the chunk's queries.
+        for op in chunk {
+            match op {
+                ResolvedOp::Insert(oid, set) => oracle.insert(*oid, &keys(set)).unwrap(),
+                ResolvedOp::Delete(oid, set) => oracle.delete(*oid, &keys(set)).unwrap(),
+                _ => {}
+            }
+        }
+        for (i, op) in chunk.iter().enumerate() {
+            let q = match op {
+                ResolvedOp::Superset(query) => SetQuery::has_subset(keys(query)),
+                ResolvedOp::Subset(query) => SetQuery::in_subset(keys(query)),
+                _ => continue,
+            };
+            let (sharded, stats) = svc.query(&q).unwrap();
+            let serial = oracle.candidates(&q).unwrap();
+            assert_eq!(
+                sharded.oids, serial.oids,
+                "sharded service diverged from serial oracle at op {i} ({})",
+                q.predicate
+            );
+            assert!(stats.is_some(), "merged stats dropped at op {i}");
+        }
+    }
+
+    // End state: both sides hold exactly the surviving population.
+    assert_eq!(svc.router().total_indexed(), model.len() as u64);
+    assert_eq!(oracle.indexed_count(), model.len() as u64);
 }

@@ -7,6 +7,7 @@
 use proptest::prelude::*;
 use setsig::nix::Nix;
 use setsig::prelude::*;
+use setsig::service::{shard_of, ShardRouter};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -120,6 +121,108 @@ fn run_workload(sets: &[Vec<u64>], queries: &[(bool, Vec<u64>)]) -> Result<(), T
     Ok(())
 }
 
+/// Sharded-service invariants against the unsharded facility: on every
+/// workload and every shard count, (1) each OID lands on exactly one
+/// shard, (2) the merged candidate set is *identical* to the flat BSSF's
+/// (no OID duplicated or dropped across the shard boundary), and (3) the
+/// merged [`ScanStats`] are the exact sum of the per-shard charges — with
+/// one shard, byte-identical to the flat facility's stats.
+fn run_sharded_workload(
+    sets: &[Vec<u64>],
+    queries: &[(bool, Vec<u64>)],
+) -> Result<(), TestCaseError> {
+    let cfg = || SignatureConfig::new(64, 2).unwrap();
+    let items: Vec<(Oid, Vec<ElementKey>)> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (Oid::new(i as u64), keys(s)))
+        .collect();
+    let built_queries: Vec<SetQuery> = queries
+        .iter()
+        .map(|(is_superset, elems)| {
+            if *is_superset {
+                SetQuery::has_subset(keys(elems))
+            } else {
+                SetQuery::in_subset(keys(elems))
+            }
+        })
+        .collect();
+
+    let mut flat = Bssf::create(Arc::new(Disk::new()) as Arc<dyn PageIo>, "flat", cfg()).unwrap();
+    flat.bulk_load(&items).unwrap();
+    let flat_answers: Vec<(CandidateSet, ScanStats)> = built_queries
+        .iter()
+        .map(|q| {
+            let (set, stats) = flat.candidates_with_stats(q).unwrap();
+            (set, stats.expect("bssf reports stats"))
+        })
+        .collect();
+
+    for shards in [1usize, 2, 7, 16] {
+        // (1) The hash is total: each OID goes to exactly one in-range
+        // shard, so the partition is a true partition.
+        let mut partitions: Vec<Vec<(Oid, Vec<ElementKey>)>> = vec![Vec::new(); shards];
+        for (oid, set) in &items {
+            let s = shard_of(*oid, shards);
+            prop_assert!(s < shards, "oid {oid} routed out of range");
+            partitions[s].push((*oid, set.clone()));
+        }
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, items.len(), "partition lost or duplicated an OID");
+
+        let disk = Arc::new(Disk::new());
+        let facilities: Vec<Bssf> = partitions
+            .iter()
+            .enumerate()
+            .map(|(i, part)| {
+                let mut b = Bssf::create(
+                    Arc::clone(&disk) as Arc<dyn PageIo>,
+                    &format!("shard{i}"),
+                    cfg(),
+                )
+                .unwrap();
+                b.bulk_load(part).unwrap();
+                b
+            })
+            .collect();
+        let router = ShardRouter::new(facilities).unwrap();
+
+        for (q, (flat_set, flat_stats)) in built_queries.iter().zip(&flat_answers) {
+            // Per-shard parts, summed by hand — the conservation oracle.
+            let mut by_hand = ScanStats::default();
+            for shard in 0..shards {
+                let (_, part_stats) = router.query_shard(shard, q).unwrap();
+                let part_stats = part_stats.expect("bssf reports stats");
+                by_hand.logical_pages += part_stats.logical_pages;
+                by_hand.physical_pages += part_stats.physical_pages;
+            }
+            let (merged, merged_stats) = router.query_serial(q).unwrap();
+            // (2) Candidate identity: a BSSF match depends only on the
+            // object's signature, never on which file holds it.
+            prop_assert_eq!(
+                &merged,
+                flat_set,
+                "sharded candidates diverged at {} shards",
+                shards
+            );
+            for w in merged.oids.windows(2) {
+                prop_assert!(w[0] < w[1], "merged candidates duplicated {}", w[0]);
+            }
+            // (3) Conservation: merged charge == sum of shard charges.
+            let merged_stats = merged_stats.expect("merge keeps stats when all shards report");
+            prop_assert_eq!(merged_stats, by_hand, "merge altered the page charge");
+            if shards == 1 {
+                prop_assert_eq!(
+                    merged_stats,
+                    *flat_stats,
+                    "one shard must be page-identical to the flat facility"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -137,5 +240,21 @@ proptest! {
         ),
     ) {
         run_workload(&sets, &queries)?;
+    }
+
+    #[test]
+    fn sharded_routing_and_merge_agree_with_the_flat_facility(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..50, 1..7)
+                .prop_map(|s| s.into_iter().collect::<Vec<u64>>()),
+            1..40,
+        ),
+        queries in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::btree_set(0u64..50, 1..7)
+                .prop_map(|s| s.into_iter().collect::<Vec<u64>>())),
+            1..5,
+        ),
+    ) {
+        run_sharded_workload(&sets, &queries)?;
     }
 }

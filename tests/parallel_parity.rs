@@ -40,7 +40,7 @@ fn assert_parity(sim: &SimDb, f: u32, m: u32, strategy: Strategy, d_qs: &[u32], 
         m,
         EngineConfig {
             threads: 8,
-            pool_pages: None,
+            ..EngineConfig::serial()
         },
     );
     let mut qg = sim.query_gen(0xF16 + f as u64 + m as u64);
@@ -165,7 +165,7 @@ fn fig8_subset_configs_are_parity_clean() {
         2,
         EngineConfig {
             threads: 8,
-            pool_pages: None,
+            ..EngineConfig::serial()
         },
     );
     let mut qg = sim.query_gen(0xF8);

@@ -113,3 +113,125 @@ fn facilities_survive_a_long_mixed_trace() {
     assert_eq!(fssf.indexed_count(), model.len() as u64);
     assert_eq!(nix.indexed_count(), model.len() as u64);
 }
+
+/// Bursty admission soak: the service sits idle, takes a spike of
+/// queries far deeper than the worker pool, drains it, and repeats.
+/// Every query in every burst must be answered exactly once and
+/// correctly; the queue-depth gauge must peak during the spike and read
+/// zero once drained; per-shard counters must account for every task.
+#[test]
+fn service_survives_bursty_admission_and_drains_its_queue() {
+    use setsig::obs::Recorder;
+    use setsig::service::{QueryService, ServiceConfig};
+
+    let shards = 4usize;
+    let disk = Arc::new(Disk::new());
+    let sig = SignatureConfig::new(64, 2).unwrap();
+    let mut facilities: Vec<Bssf> = (0..shards)
+        .map(|i| {
+            Bssf::create(
+                Arc::clone(&disk) as Arc<dyn PageIo>,
+                &format!("burst{i}"),
+                sig,
+            )
+            .unwrap()
+        })
+        .collect();
+    // Pre-seed each facility empty; inserts go through the service so
+    // placement follows the hash.
+    let rec = Arc::new(Recorder::new());
+    let svc = Arc::new(
+        QueryService::with_recorder(
+            std::mem::take(&mut facilities),
+            ServiceConfig::new(shards)
+                .with_queue_depth(8)
+                .with_workers(3),
+            Some(Arc::clone(&rec)),
+        )
+        .unwrap(),
+    );
+    for i in 0..300u64 {
+        let keys: Vec<ElementKey> = (0..4).map(|j| ElementKey::from(i % 40 + j)).collect();
+        svc.insert(Oid::new(i), &keys).unwrap();
+    }
+
+    // Ground truth per probe element, computed once.
+    let expected = |e: u64| -> Vec<Oid> {
+        (0..300u64)
+            .filter(|i| {
+                let lo = i % 40;
+                e >= lo && e < lo + 4
+            })
+            .map(Oid::new)
+            .collect()
+    };
+
+    let bursts = 5usize;
+    let burst_size = 40usize;
+    for burst in 0..bursts {
+        // Idle gap: the pool has nothing in flight between bursts.
+        let snap = rec.registry().snapshot();
+        assert_eq!(
+            snap.get_gauge("service.queue_depth"),
+            Some(0),
+            "queue not drained before burst {burst}"
+        );
+
+        // Spike: many callers submit at once, 5× deeper than the queue.
+        let handles: Vec<_> = (0..burst_size)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let e = (i % 20) as u64;
+                    let q = SetQuery::has_subset(vec![ElementKey::from(e)]);
+                    let (set, stats) = svc.query(&q).unwrap();
+                    (e, set, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (e, set, stats) = h.join().expect("burst caller");
+            // The signature filter never loses a true answer, and the
+            // merge never duplicates a candidate across shards.
+            for oid in expected(e) {
+                assert!(
+                    set.oids.contains(&oid),
+                    "burst {burst} dropped true answer {oid} for {e}"
+                );
+            }
+            for w in set.oids.windows(2) {
+                assert!(w[0] < w[1], "burst {burst} duplicated candidate {}", w[0]);
+            }
+            assert!(stats.is_some(), "burst {burst} lost merged stats");
+        }
+    }
+
+    let snap = rec.registry().snapshot();
+    // No query lost or answered twice: shard counters account for every
+    // task exactly once — (bursts × burst_size) queries × shards tasks.
+    let total_tasks: u64 = (0..shards)
+        .map(|i| {
+            snap.get_counter(&format!("service.shard{i}.queries"))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(total_tasks, (bursts * burst_size * shards) as u64);
+    let adm = snap
+        .get_histogram("service.admission_ns")
+        .expect("admission histogram");
+    assert_eq!(adm.count, (bursts * burst_size * shards) as u64);
+    // The spike was visible (queue backed up beyond a single batch) and
+    // fully drained (depth back to zero, nothing in flight).
+    assert!(
+        snap.get_gauge("service.queue_depth_peak").unwrap_or(0) > shards as i64,
+        "burst never backed up the queue"
+    );
+    assert_eq!(snap.get_gauge("service.queue_depth"), Some(0));
+    for i in 0..shards {
+        assert_eq!(
+            snap.get_gauge(&format!("service.shard{i}.inflight")),
+            Some(0),
+            "shard {i} left work in flight"
+        );
+    }
+}

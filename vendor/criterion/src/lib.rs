@@ -11,11 +11,73 @@
 //! Behaviour knobs (environment variables):
 //! * `BENCH_SAMPLES` — override every group's sample count.
 //! * `BENCH_MIN_ITERS` — minimum timed iterations per sample (default 1).
+//! * `BENCH_JSON` — path to write a machine-readable summary of every
+//!   benchmark run by the process (one JSON object with a `benchmarks`
+//!   array of `{group, id, mean_ns, best_ns, samples}` entries), for
+//!   perf-trajectory tracking in CI.
 
 #![warn(missing_docs)]
 
 use std::hint;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary, collected for the `BENCH_JSON` report.
+#[derive(Debug, Clone)]
+struct SummaryEntry {
+    group: String,
+    id: String,
+    mean_ns: u128,
+    best_ns: u128,
+    samples: u64,
+}
+
+/// Process-wide collector behind the `BENCH_JSON` report. Plain
+/// `std::sync::Mutex`; bench processes are effectively single-threaded
+/// at reporting points, so contention (and poisoning) cannot occur.
+fn collector() -> &'static Mutex<Vec<SummaryEntry>> {
+    static COLLECTOR: OnceLock<Mutex<Vec<SummaryEntry>>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the collected summary to `path` as JSON. Errors are reported
+/// to stderr, never panicked on — a failed report must not fail the
+/// bench run itself.
+fn write_summary(path: &str) {
+    let entries = match collector().lock() {
+        Ok(g) => g.clone(),
+        Err(_) => return,
+    };
+    let mut body = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}, \"samples\": {}}}{}\n",
+            json_escape(&e.group),
+            json_escape(&e.id),
+            e.mean_ns,
+            e.best_ns,
+            e.samples,
+            if i + 1 == entries.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("criterion harness: could not write BENCH_JSON to {path}: {e}");
+    }
+}
 
 /// Opaque identifier for a parameterised benchmark, rendered as
 /// `function/parameter`.
@@ -118,6 +180,15 @@ impl BenchmarkGroup<'_> {
             "{}/{:<40} mean {:>12?}  best {:>12?}  ({} samples)",
             self.name, id, mean, best, timed
         );
+        if let Ok(mut entries) = collector().lock() {
+            entries.push(SummaryEntry {
+                group: self.name.clone(),
+                id: id.to_string(),
+                mean_ns: mean.as_nanos(),
+                best_ns: best.as_nanos(),
+                samples: timed,
+            });
+        }
     }
 
     /// Benchmarks `f` under `id`.
@@ -182,8 +253,17 @@ impl Criterion {
         self
     }
 
-    /// Runs final reporting (no-op in this harness).
-    pub fn final_summary(&mut self) {}
+    /// Runs final reporting: when `BENCH_JSON` names a path, writes the
+    /// process-wide summary of every benchmark timed so far. Called once
+    /// per `criterion_group!`; each call rewrites the file with the
+    /// cumulative collector, so the last group's call reports them all.
+    pub fn final_summary(&mut self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.trim().is_empty() {
+                write_summary(&path);
+            }
+        }
+    }
 }
 
 /// Declares a benchmark group runner function, mirroring
@@ -234,6 +314,28 @@ mod tests {
         group.bench_with_input(BenchmarkId::new("double", 21), &q, |b, q| b.iter(|| q * 2));
         group.finish();
         assert!(calls >= 3);
+    }
+
+    #[test]
+    fn json_summary_reports_every_timed_benchmark() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("jsonsmoke");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let path = std::env::temp_dir().join("criterion_stub_bench_json_test.json");
+        write_summary(path.to_str().unwrap());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"group\": \"jsonsmoke\""), "{body}");
+        assert!(body.contains("\"id\": \"noop\""), "{body}");
+        assert!(body.contains("\"mean_ns\""), "{body}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]
