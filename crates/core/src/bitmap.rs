@@ -305,6 +305,30 @@ impl Bitmap {
     }
 }
 
+/// Iterates the set-bit positions of an LSB-first serialized bitmap of
+/// width `nbits`, ascending, without materializing a [`Bitmap`] — the
+/// overlap scan's per-slice counting kernel. Padding bits beyond `nbits`
+/// in the final byte are ignored.
+pub fn iter_ones_bytes(nbits: u32, bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    let nbytes = (nbits as usize).div_ceil(8);
+    let bytes = &bytes[..nbytes.min(bytes.len())];
+    let nwords = (nbits as usize).div_ceil(64);
+    (0..nwords).flat_map(move |wi| {
+        let mut w = le_word(bytes, wi);
+        std::iter::from_fn(move || {
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                let pos = wi as u32 * 64 + bit;
+                if pos < nbits {
+                    return Some(pos);
+                }
+            }
+            None
+        })
+    })
+}
+
 /// Word `wi` of an LSB-first byte buffer, zero-padded past the end.
 #[inline]
 fn le_word(bytes: &[u8], wi: usize) -> u64 {
@@ -509,6 +533,20 @@ mod tests {
         let mut o = Bitmap::zeroed(4);
         o.or_assign_bytes(&[0xff]);
         assert_eq!(o.count_ones(), 4);
+    }
+
+    #[test]
+    fn iter_ones_bytes_agrees_with_bitmap() {
+        for nbits in [4u32, 7, 64, 70, 128, 200] {
+            let bm = Bitmap::from_positions(nbits, &[0, nbits / 3, nbits - 1]);
+            let bytes = bm.to_bytes();
+            let direct: Vec<u32> = iter_ones_bytes(nbits, &bytes).collect();
+            let reference: Vec<u32> = bm.iter_ones().collect();
+            assert_eq!(direct, reference, "width {nbits}");
+        }
+        // Padding garbage in the final byte must be ignored.
+        let padded: Vec<u32> = iter_ones_bytes(4, &[0b1111_0110]).collect();
+        assert_eq!(padded, vec![1, 2]);
     }
 
     #[test]

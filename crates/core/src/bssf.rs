@@ -26,7 +26,7 @@ use setsig_pagestore::{BufferPool, Page, PageIo, PagedFile, PAGE_SIZE};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::bitmap::Bitmap;
+use crate::bitmap::{iter_ones_bytes, Bitmap};
 use crate::config::SignatureConfig;
 use crate::element::ElementKey;
 use crate::error::{Error, Result};
@@ -237,17 +237,20 @@ impl Bssf {
         Ok(())
     }
 
-    /// Reads slice `j`'s rows into a packed byte buffer of length
-    /// `⌈n/8⌉`, charging one read per materialized page, and returns the
-    /// buffer together with the page count. Pages past the end of a
-    /// sparsely built slice are known-zero from file metadata and cost
-    /// nothing.
-    fn read_slice_bytes(&self, j: u32) -> Result<(Vec<u8>, u64)> {
+    /// Reads slice `j`'s rows into `buf`, resized (reusing its capacity)
+    /// to the packed length `⌈n/8⌉`, charging one read per materialized
+    /// page, and returns the page count. Pages past the end of a sparsely
+    /// built slice are known-zero from file metadata and cost nothing.
+    ///
+    /// The serial scan loops call this with one hoisted buffer so the AND/
+    /// OR kernels run allocation-free after the first slice.
+    fn read_slice_into(&self, j: u32, buf: &mut Vec<u8>) -> Result<u64> {
         let n = self.oid_file.len();
         let slice = &self.slices[j as usize];
         let have = slice.len()?;
         let nbytes = (n as usize).div_ceil(8);
-        let mut buf = vec![0u8; nbytes];
+        buf.clear();
+        buf.resize(nbytes, 0);
         let npages = (n.div_ceil(ROWS_PER_PAGE) as u32).min(have);
         for p in 0..npages {
             // A slice page holds PAGE_SIZE·8 rows, so page p's bits start
@@ -258,7 +261,16 @@ impl Bssf {
                 buf[start..start + take].copy_from_slice(&page.as_bytes()[..take]);
             })?;
         }
-        Ok((buf, npages as u64))
+        Ok(npages as u64)
+    }
+
+    /// Owned-buffer variant of [`read_slice_into`](Bssf::read_slice_into),
+    /// for the parallel pipeline where each fetched slice must outlive its
+    /// worker.
+    fn read_slice_bytes(&self, j: u32) -> Result<(Vec<u8>, u64)> {
+        let mut buf = Vec::new();
+        let np = self.read_slice_into(j, &mut buf)?;
+        Ok((buf, np))
     }
 
     /// Reads slice `j` as a row bitmap of length `n` (the current entry
@@ -276,6 +288,7 @@ impl Bssf {
     /// The AND runs word-at-a-time straight off the page bytes
     /// ([`Bitmap::and_assign_bytes`]), and stops as soon as the running
     /// candidate bitmap is empty — no later slice can revive a row.
+    // HOT-PATH: bssf.and_loop
     fn superset_positions(&self, query_sig: &Signature, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
@@ -286,7 +299,8 @@ impl Bssf {
         if self.threads > 1 && ones.len() > 1 {
             return self.superset_positions_parallel(&ones, n, ctr);
         }
-        let (bytes, np) = self.read_slice_bytes(ones[0])?;
+        let mut bytes = Vec::new();
+        let np = self.read_slice_into(ones[0], &mut bytes)?;
         ctr.charge_both(np);
         ctr.note_slices(1);
         let mut acc = Bitmap::from_bytes(n as u32, &bytes);
@@ -295,7 +309,7 @@ impl Bssf {
                 ctr.mark_early_exit();
                 break;
             }
-            let (bytes, np) = self.read_slice_bytes(j)?;
+            let np = self.read_slice_into(j, &mut bytes)?;
             ctr.charge_both(np);
             ctr.note_slices(1);
             acc.and_assign_bytes(&bytes);
@@ -313,6 +327,7 @@ impl Bssf {
     /// serial protocol would stop — charging the same logical pages and
     /// producing the same candidate bitmap. Speculative fetches beyond the
     /// stop point count only as physical pages.
+    // HOT-PATH: bssf.and_pipeline
     fn superset_positions_parallel(
         &self,
         ones: &[u32],
@@ -458,14 +473,14 @@ impl Bssf {
                     .map(|_| {
                         s.spawn(|| -> Result<(Bitmap, u64)> {
                             let mut local = Bitmap::zeroed(n as u32);
+                            let mut bytes = Vec::new();
                             let mut pages = 0u64;
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= zeros.len() {
                                     break;
                                 }
-                                let (bytes, np) = self.read_slice_bytes(zeros[i])?;
-                                pages += np;
+                                pages += self.read_slice_into(zeros[i], &mut bytes)?;
                                 local.or_assign_bytes(&bytes);
                             }
                             Ok((local, pages))
@@ -482,8 +497,9 @@ impl Bssf {
             })?
         } else {
             let mut acc = Bitmap::zeroed(n as u32);
+            let mut bytes = Vec::new();
             for &j in zeros {
-                let (bytes, np) = self.read_slice_bytes(j)?;
+                let np = self.read_slice_into(j, &mut bytes)?;
                 ctr.charge_both(np);
                 acc.or_assign_bytes(&bytes);
             }
@@ -520,16 +536,15 @@ impl Bssf {
                     .map(|_| {
                         s.spawn(|| -> Result<(Vec<u16>, u64)> {
                             let mut local = vec![0u16; n];
+                            let mut bytes = Vec::new();
                             let mut pages = 0u64;
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= ones.len() {
                                     break;
                                 }
-                                let (bytes, np) = self.read_slice_bytes(ones[i])?;
-                                pages += np;
-                                let rows = Bitmap::from_bytes(n as u32, &bytes);
-                                for p in rows.iter_ones() {
+                                pages += self.read_slice_into(ones[i], &mut bytes)?;
+                                for p in iter_ones_bytes(n as u32, &bytes) {
                                     local[p as usize] += 1;
                                 }
                             }
@@ -549,11 +564,11 @@ impl Bssf {
             })?
         } else {
             let mut counts = vec![0u16; n];
+            let mut bytes = Vec::new();
             for &j in &ones {
-                let (bytes, np) = self.read_slice_bytes(j)?;
+                let np = self.read_slice_into(j, &mut bytes)?;
                 ctr.charge_both(np);
-                let rows = Bitmap::from_bytes(n as u32, &bytes);
-                for p in rows.iter_ones() {
+                for p in iter_ones_bytes(n as u32, &bytes) {
                     counts[p as usize] += 1;
                 }
             }

@@ -81,7 +81,7 @@ mod query;
 mod signature;
 mod ssf;
 
-pub use bitmap::Bitmap;
+pub use bitmap::{iter_ones_bytes, Bitmap};
 pub use bssf::Bssf;
 pub use config::SignatureConfig;
 pub use drops::{resolve_drops, verify_predicate, DropReport, ElementSet, TargetSetSource};

@@ -213,6 +213,7 @@ impl Ssf {
     }
 
     /// Matches one signature page's rows in place, appending hits to `out`.
+    // HOT-PATH: ssf.row_scan
     fn scan_page(
         &self,
         query: &SetQuery,
@@ -251,8 +252,12 @@ impl Ssf {
         npages: u32,
         ctr: &ScanCounters,
     ) -> Result<Vec<u64>> {
-        /// A worker's `(page, hits)` lists plus its page count.
-        type WorkerScan = Result<(Vec<(u32, Vec<u64>)>, u64)>;
+        /// A worker's `(page, start, end)` segments into its flat hit list.
+        type Segments = Vec<(u32, usize, usize)>;
+        /// A worker's flat hit list, its segments, and its page count. One
+        /// growable buffer per worker — no per-page allocation in the claim
+        /// loop.
+        type WorkerScan = Result<(Vec<u64>, Segments, u64)>;
         let threads = self.threads.min(npages as usize);
         // Lock-free work claim: workers race on one atomic page cursor and
         // hold no lock while scanning, so the storage locks (pool, disk)
@@ -264,30 +269,43 @@ impl Ssf {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| -> WorkerScan {
-                        let mut local = Vec::new();
+                        let mut flat = Vec::new();
+                        let mut segs = Vec::new();
                         let mut pages = 0u64;
                         loop {
                             let p = next.fetch_add(1, Ordering::Relaxed);
                             if p >= npages as usize {
                                 break;
                             }
-                            let mut hits = Vec::new();
-                            self.scan_page(query, query_sig, total, p as u32, &mut hits)?;
+                            let start = flat.len();
+                            self.scan_page(query, query_sig, total, p as u32, &mut flat)?;
                             pages += 1;
-                            local.push((p as u32, hits));
+                            segs.push((p as u32, start, flat.len()));
                         }
-                        Ok((local, pages))
+                        Ok((flat, segs, pages))
                     })
                 })
                 .collect();
-            let mut per_page: Vec<(u32, Vec<u64>)> = Vec::with_capacity(npages as usize);
+            let mut parts: Vec<(Vec<u64>, Segments)> = Vec::with_capacity(threads);
             for h in handles {
-                let (local, pages) = h.join().expect("scan worker panicked")?;
+                let (flat, segs, pages) = h.join().expect("scan worker panicked")?;
                 ctr.charge_both(pages);
-                per_page.extend(local);
+                parts.push((flat, segs));
             }
-            per_page.sort_unstable_by_key(|&(p, _)| p);
-            Ok(per_page.into_iter().flat_map(|(_, hits)| hits).collect())
+            // Merge in page order so the result is byte-identical to the
+            // serial scan.
+            let mut index: Vec<(u32, usize, usize, usize)> = Vec::new();
+            for (pi, (_, segs)) in parts.iter().enumerate() {
+                for &(page, start, end) in segs {
+                    index.push((page, pi, start, end));
+                }
+            }
+            index.sort_unstable_by_key(|&(p, ..)| p);
+            let mut out = Vec::with_capacity(index.iter().map(|&(_, _, s, e)| e - s).sum());
+            for (_, pi, start, end) in index {
+                out.extend_from_slice(&parts[pi].0[start..end]);
+            }
+            Ok(out)
         })
     }
 
@@ -331,9 +349,8 @@ impl Ssf {
         for &(pos, oid) in &live {
             let (page_no, off) = self.slot_of(pos);
             let page = self.sig_file.read(page_no)?;
-            let sig_bytes = page.read_slice(off, self.sig_bytes).to_vec();
             let noff = (next % self.per_page) as usize * self.sig_bytes;
-            tail.write_slice(noff, &sig_bytes);
+            tail.write_slice(noff, page.read_slice(off, self.sig_bytes));
             next += 1;
             if next.is_multiple_of(self.per_page) {
                 new_sig.append(&tail)?;

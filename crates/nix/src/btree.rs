@@ -326,6 +326,7 @@ impl BTree {
 
     /// The posting list of `key` (empty when absent). Costs
     /// `height + 1 (+ chain length)` page reads — the paper's `rc`.
+    // HOT-PATH: nix.probe
     pub fn lookup(&self, key: u64) -> Result<Vec<u64>> {
         let (_, _leaf_no, page) = self.descend(key)?;
         match Leaf::search(&page, key) {

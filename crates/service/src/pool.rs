@@ -317,6 +317,7 @@ impl<F: SetAccessFacility + Send + Sync + 'static> QueryService<F> {
 /// Worker body: pop a task (blocking while the queue is open and
 /// empty), run the shard query, deposit the part. Exits once the queue
 /// is closed *and* drained, so shutdown never drops admitted work.
+// HOT-PATH: service.dispatch
 fn worker_loop<F: SetAccessFacility + Send + Sync>(inner: &PoolInner<F>) {
     loop {
         let task = {

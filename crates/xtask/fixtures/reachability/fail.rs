@@ -1,0 +1,19 @@
+//! reachability FAIL fixture: functions no code path can reach. Every
+//! marked line must produce a diagnostic.
+
+/// Never mentioned anywhere: dead.
+fn orphan_helper() -> u32 { //~ ERROR reachability: never-called
+    1
+}
+
+/// `pub` inside a private module reaches nobody either.
+mod internal {
+    pub fn dead_export() {} //~ ERROR reachability: pub-in-private
+}
+
+pub struct Widget;
+
+impl Widget {
+    /// A private method nobody calls is just as dead.
+    fn unused_method(&self) {} //~ ERROR reachability: never-called
+}

@@ -1,0 +1,64 @@
+//! reachability PASS fixture: every shape that keeps a function alive.
+//! Nothing here may produce a diagnostic.
+
+fn used_helper() -> u32 {
+    2
+}
+
+/// Public API is surface, not dead code — even when unreferenced.
+pub fn unused_public_api() -> u32 {
+    3
+}
+
+pub fn public_api() -> u32 {
+    used_helper()
+}
+
+/// `_`-prefixed names opt out explicitly.
+fn _scratch() {}
+
+/// The entry point has an invisible caller.
+fn main() {
+    public_api();
+}
+
+/// `pub` in a private module is fine while something references it.
+mod detail {
+    pub fn reached() -> u32 {
+        4
+    }
+}
+
+pub fn uses_detail() -> u32 {
+    detail::reached()
+}
+
+/// Trait machinery dispatches invisibly: declarations and impls are
+/// exempt.
+pub trait Codec {
+    fn encode(&self) -> u32;
+}
+
+pub struct Id;
+
+impl Codec for Id {
+    fn encode(&self) -> u32 {
+        5
+    }
+}
+
+/// A fn-pointer mention is a reference too.
+fn as_callback() -> u32 {
+    6
+}
+
+pub fn registers() -> u32 {
+    let f: fn() -> u32 = as_callback;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test-gated fns are cfg'd out of the reachability question.
+    fn test_only_helper() {}
+}

@@ -1,0 +1,37 @@
+//! swallowed-result FAIL fixture: `Result`s dropped on the floor, in both
+//! shapes the lint knows. Every marked line must produce a diagnostic.
+
+/// A workspace fn whose `Result` return the call graph resolves.
+pub fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub struct Sink;
+
+impl Sink {
+    pub fn send_row(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Explicit discard of a resolved `Result`-returning free call.
+pub fn drops_free_call() {
+    let _ = fallible(); //~ ERROR swallowed-result: let-underscore
+}
+
+/// Explicit discard of a resolved `Result`-returning method call.
+pub fn drops_method_call(s: &Sink) {
+    let _ = s.send_row(); //~ ERROR swallowed-result: let-underscore
+}
+
+/// The std builtin list: `join` returns a `Result` even though nothing in
+/// the workspace resolves it.
+pub fn drops_builtin(h: std::thread::JoinHandle<()>) {
+    let _ = h.join(); //~ ERROR swallowed-result: let-underscore
+}
+
+/// A bare statement dropping the `Result` is the same bug without the
+/// fig leaf.
+pub fn bare_discard() {
+    fallible(); //~ ERROR swallowed-result: discarded
+}

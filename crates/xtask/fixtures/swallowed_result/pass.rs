@@ -1,0 +1,56 @@
+//! swallowed-result PASS fixture: every shape that handles, propagates,
+//! binds, or legitimately ignores a value. Nothing here may produce a
+//! diagnostic.
+
+pub fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub fn unit_helper() {}
+
+/// `?` at statement depth is propagation, not a swallow.
+pub fn propagated() -> Result<u32, String> {
+    fallible()?;
+    let v = fallible()?;
+    Ok(v)
+}
+
+/// Binding or matching the `Result` is handling it.
+pub fn bound_and_handled() -> u32 {
+    let r = fallible();
+    match fallible() {
+        Ok(v) => v,
+        Err(_) => r.unwrap_or(0),
+    }
+}
+
+/// Discarding a unit-returning call is fine.
+pub fn unit_call_discarded() {
+    unit_helper();
+}
+
+/// A named placeholder binding is rustc's `unused_variables` territory,
+/// not this lint's.
+pub fn named_placeholder() {
+    let _r = fallible();
+}
+
+/// An unresolved receiver stays silent rather than guessing.
+pub fn unresolved_stays_silent(x: &std::time::Instant) {
+    let _ = x.elapsed();
+}
+
+/// An intentional swallow, justified in the self-test allowlist
+/// (`fixture.rs::allowlisted_site`).
+pub fn allowlisted_site() {
+    let _ = fallible();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tests_may_discard() {
+        let _ = fallible();
+    }
+}

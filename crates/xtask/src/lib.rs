@@ -1,6 +1,6 @@
 //! # xtask — project-specific static analysis for the setsig workspace
 //!
-//! `cargo xtask analyze` runs seven offline, hand-rolled lints over the
+//! `cargo xtask analyze` runs ten offline, hand-rolled lints over the
 //! workspace source (token-level scanner, no network, no rustc plumbing):
 //!
 //! 1. **accounting** — raw page I/O (`read_page` / `write_page`) may only be
@@ -29,8 +29,20 @@
 //! 6. **guard-across-io** — no lock guard may be live across a
 //!    `read_page`/`write_page`/`flush`/`sync` call; the pool comment's
 //!    promise, enforced.
-//! 7. **stale-allow** — every `crates/xtask/allow/*.allow` entry must
-//!    still match a real site; dangling suppressions fail the run.
+//! 7. **hot-path-hygiene** — functions annotated `// HOT-PATH: <name>`
+//!    must not, transitively through the workspace [`callgraph`],
+//!    allocate, acquire a lock, or touch raw page I/O outside the
+//!    accounting seam; `// HOT-PATH-BOUNDARY:` stops traversal at
+//!    reviewed dispatch points, and justified sites live in
+//!    `allow/hotpath.allow` (see [`lints::hot_path`]).
+//! 8. **swallowed-result** — `let _ =` / a bare statement discarding a
+//!    `Result`-returning call in library code is an error, with
+//!    intentional swallows justified in `allow/swallowed.allow`.
+//! 9. **reachability** — never-called non-`pub` fns and unreferenced
+//!    `pub` fns in private modules are reported, keeping the growing
+//!    workspace dead-code-free.
+//! 10. **stale-allow** — every `crates/xtask/allow/*.allow` entry must
+//!     still match a real site; dangling suppressions fail the run.
 //!
 //! The analyzer is deliberately syntactic: it trades soundness-in-general
 //! for zero dependencies and total transparency. Each lint is a small token
@@ -42,6 +54,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lints;
 pub mod locks;
 pub mod scan;
@@ -68,6 +81,13 @@ pub enum Lint {
     LockOrder,
     /// A lock guard live across a page-I/O call.
     GuardAcrossIo,
+    /// An allocation, lock acquisition, or raw page-I/O call reachable
+    /// from a `// HOT-PATH:` root through the call graph.
+    HotPath,
+    /// A `Result`-returning call whose value is silently discarded.
+    SwallowedResult,
+    /// A function no workspace code can reach.
+    Reachability,
     /// An allowlist entry that matched no site this run.
     StaleAllow,
 }
@@ -82,6 +102,9 @@ impl Lint {
             Lint::Layering => "layering",
             Lint::LockOrder => "lock-order",
             Lint::GuardAcrossIo => "guard-across-io",
+            Lint::HotPath => "hot-path-hygiene",
+            Lint::SwallowedResult => "swallowed-result",
+            Lint::Reachability => "reachability",
             Lint::StaleAllow => "stale-allow",
         }
     }
@@ -95,6 +118,9 @@ impl Lint {
             "layering" => Some(Lint::Layering),
             "lock-order" => Some(Lint::LockOrder),
             "guard-across-io" => Some(Lint::GuardAcrossIo),
+            "hot-path-hygiene" => Some(Lint::HotPath),
+            "swallowed-result" => Some(Lint::SwallowedResult),
+            "reachability" => Some(Lint::Reachability),
             "stale-allow" => Some(Lint::StaleAllow),
             _ => None,
         }
@@ -173,6 +199,8 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let allow_accounting = ws.allowlist("accounting.allow")?;
     let allow_panics = ws.allowlist("panics.allow")?;
     let allow_locks = ws.allowlist("locks.allow")?;
+    let allow_hotpath = ws.allowlist("hotpath.allow")?;
+    let allow_swallowed = ws.allowlist("swallowed.allow")?;
     let mut diags = Vec::new();
     diags.extend(lints::accounting::run(&ws, &allow_accounting));
     diags.extend(lints::unsafe_audit::run(&ws));
@@ -180,10 +208,15 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
     diags.extend(lints::layering::run(&ws)?);
     diags.extend(lints::lock_order::run(&ws, &allow_locks));
     diags.extend(lints::guard_across_io::run(&ws, &allow_locks));
+    diags.extend(lints::hot_path::run(&ws, &allow_hotpath, &allow_accounting));
+    diags.extend(lints::swallowed_result::run(&ws, &allow_swallowed));
+    diags.extend(lints::reachability::run(&ws));
     diags.extend(lints::stale_allow::check(&[
         ("crates/xtask/allow/accounting.allow", &allow_accounting),
         ("crates/xtask/allow/panics.allow", &allow_panics),
         ("crates/xtask/allow/locks.allow", &allow_locks),
+        ("crates/xtask/allow/hotpath.allow", &allow_hotpath),
+        ("crates/xtask/allow/swallowed.allow", &allow_swallowed),
     ]));
     diags.sort_by(|a, b| (&a.file, a.line, a.lint, &a.msg).cmp(&(&b.file, b.line, b.lint, &b.msg)));
     Ok(diags)

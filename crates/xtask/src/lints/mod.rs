@@ -5,8 +5,11 @@
 
 pub mod accounting;
 pub mod guard_across_io;
+pub mod hot_path;
 pub mod layering;
 pub mod lock_order;
 pub mod panic_surface;
+pub mod reachability;
 pub mod stale_allow;
+pub mod swallowed_result;
 pub mod unsafe_audit;

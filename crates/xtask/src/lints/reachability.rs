@@ -1,0 +1,95 @@
+//! reachability: dead functions are reported before they rot.
+//!
+//! Built on the [`crate::callgraph`] definition index plus a workspace-wide
+//! mention index (every identifier occurrence that is not a `fn` definition
+//! site). Two error codes:
+//!
+//! * `never-called:` — a non-`pub` fn in lib/bin code whose name is never
+//!   mentioned anywhere in the workspace (calls, fn pointers, `use`s and
+//!   test references all count as mentions);
+//! * `pub-in-private:` — a `pub` fn inside a non-`pub` inline module that
+//!   is likewise never mentioned: the `pub` cannot be reached from outside
+//!   the module, so it only hides the deadness from rustc.
+//!
+//! Mentions are matched **by name**, not by resolved target — two same-name
+//! methods keep each other alive. That over-approximation (plus skipping
+//! `main`, trait machinery, and `_`-prefixed names) is what makes the lint
+//! zero-false-positive enough to run without an allowlist; the cost is
+//! documented in DESIGN.md §9.
+
+use std::collections::HashSet;
+
+use crate::callgraph::CallGraph;
+use crate::scan::TokKind;
+use crate::workspace::{FileClass, SourceFile};
+use crate::{Diagnostic, Lint};
+
+/// Runs the lint: definitions from lib/bin code, mentions from everywhere
+/// (integration tests keep the fns they exercise alive).
+pub fn run(ws: &crate::workspace::Workspace) -> Vec<Diagnostic> {
+    let files: Vec<&SourceFile> = ws.files.iter().collect();
+    check_files(&files)
+}
+
+/// Fixture entry point: one file as its own little workspace.
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    check_files(&[file])
+}
+
+/// Core: definition index vs. mention index.
+pub fn check_files(files: &[&SourceFile]) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(files);
+    // Every identifier occurrence that is not a definition site.
+    let mut mentioned: HashSet<&str> = HashSet::new();
+    for file in &graph.files {
+        let toks = &file.scanned.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident && !(i >= 1 && toks[i - 1].is_ident("fn")) {
+                mentioned.insert(t.text.as_str());
+            }
+        }
+    }
+    let mut diags = Vec::new();
+    for def in &graph.fns {
+        let file = graph.files[def.file];
+        if file.class == FileClass::Test || def.is_test {
+            continue;
+        }
+        // Trait machinery dispatches invisibly; `main` is the entry point;
+        // `_`-prefixed names already say "intentionally unused".
+        if def.name == "main"
+            || def.name.starts_with('_')
+            || def.is_trait_decl
+            || def.trait_name.is_some()
+        {
+            continue;
+        }
+        if mentioned.contains(def.name.as_str()) {
+            continue;
+        }
+        if def.is_pub && def.in_private_mod {
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line: def.line,
+                lint: Lint::Reachability,
+                msg: format!(
+                    "pub-in-private: fn `{}` is `pub` inside a private module but never \
+                     referenced; the `pub` is unreachable — delete the fn or re-export it",
+                    def.name
+                ),
+            });
+        } else if !def.is_pub {
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line: def.line,
+                lint: Lint::Reachability,
+                msg: format!(
+                    "never-called: fn `{}` is never referenced anywhere in the workspace; \
+                     delete it (or name it `_{}` while it waits for a caller)",
+                    def.name, def.name
+                ),
+            });
+        }
+    }
+    diags
+}

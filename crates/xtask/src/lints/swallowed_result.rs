@@ -1,0 +1,185 @@
+//! swallowed-result: a `Result` silently discarded in library code is an
+//! error.
+//!
+//! Two shapes are detected:
+//!
+//! * `let _ = fallible();` — an explicit discard (`let-underscore`);
+//! * `fallible();` — a bare statement whose value is dropped
+//!   (`discarded`), for code paths rustc's `#[must_use]` cannot see
+//!   (e.g. behind a fn pointer).
+//!
+//! Whether the discarded call returns `Result` comes from the
+//! [`crate::callgraph`]: the statement's final call (the last call at
+//! paren-depth 0 before the `;`) is looked up, and the finding fires only
+//! when **every** resolved candidate declares a `Result` return — mixed or
+//! unresolved candidates stay silent rather than guess. On top of that, a
+//! short list of well-known std `Result` returners (`join`, `flush`,
+//! `write_all`, `send`, `recv`, `sync_all`) fires for `let _ =` even when
+//! a same-named workspace method shadows the resolution, because `let _ =`
+//! around a unit-returning call is not something anyone writes.
+//!
+//! Statements already handling the `Result` — a `?` at depth 0, a binding,
+//! a `match`/`if let` — are never flagged. Intentional swallows (a writer
+//! thread's `join` in `Drop`, best-effort trace flushes) are justified in
+//! `allow/swallowed.allow`.
+
+use crate::callgraph::CallGraph;
+use crate::scan::TokKind;
+use crate::workspace::{Allowlist, FileClass, SourceFile};
+use crate::{Diagnostic, Lint};
+
+/// std calls whose `Result` is flagged under `let _ =` even when name
+/// resolution finds a unit-returning workspace method instead.
+const BUILTIN_RESULT: [&str; 6] = ["join", "flush", "write_all", "send", "recv", "sync_all"];
+
+/// Statement heads that are never a discarded call.
+const STMT_KEYWORDS: [&str; 6] = ["return", "break", "continue", "use", "let", "drop"];
+
+/// Runs the lint over library code.
+pub fn run(ws: &crate::workspace::Workspace, allow: &Allowlist) -> Vec<Diagnostic> {
+    let files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.class == FileClass::Lib)
+        .collect();
+    check_files(&files, allow)
+}
+
+/// Fixture entry point: one file, its own mini call graph.
+pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
+    check_files(&[file], allow)
+}
+
+/// Core: statement segmentation + final-call resolution.
+pub fn check_files(files: &[&SourceFile], allow: &Allowlist) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(files);
+    let mut diags = Vec::new();
+    for (fi, file) in graph.files.iter().enumerate() {
+        if file.class != FileClass::Lib {
+            continue;
+        }
+        let toks = &file.scanned.toks;
+        // Statements are token runs between `;` / `{` / `}`; a brace
+        // resets the run, so only brace-free statements are examined —
+        // which is exactly the shape a discarded call has.
+        let mut start = 0usize;
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_punct('{') || t.is_punct('}') {
+                start = i + 1;
+                continue;
+            }
+            if !t.is_punct(';') {
+                continue;
+            }
+            let seg = start..i;
+            start = i + 1;
+            if seg.is_empty() || file.test_mask[seg.start] {
+                continue;
+            }
+            check_statement(&graph, fi, seg, allow, &mut diags);
+        }
+    }
+    diags
+}
+
+/// Examines one brace-free statement for a discarded `Result`.
+fn check_statement(
+    graph: &CallGraph<'_>,
+    fi: usize,
+    seg: std::ops::Range<usize>,
+    allow: &Allowlist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let file = graph.files[fi];
+    let toks = &file.scanned.toks;
+    let s = seg.start;
+    let (expr_start, is_let_underscore) = if toks[s].is_ident("let")
+        && toks.get(s + 1).is_some_and(|t| t.is_ident("_"))
+        && toks.get(s + 2).is_some_and(|t| t.is_punct('='))
+    {
+        (s + 3, true)
+    } else if toks[s].kind == TokKind::Ident && !STMT_KEYWORDS.contains(&toks[s].text.as_str()) {
+        (s, false)
+    } else {
+        return;
+    };
+    // Walk the expression: remember the last call at depth 0, bail on
+    // anything that shows the Result is handled or bound.
+    let mut depth = 0i64;
+    let mut last_call: Option<usize> = None;
+    let mut j = expr_start;
+    while j < seg.end {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct('?') {
+                return; // propagated
+            }
+            if !is_let_underscore && (t.is_punct('=') || t.is_ident("let")) {
+                return; // bound, not discarded
+            }
+            if t.kind == TokKind::Ident
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                && !(j >= 1 && toks[j - 1].is_ident("fn"))
+            {
+                last_call = Some(j);
+            }
+            if t.kind == TokKind::Ident && toks.get(j + 1).is_some_and(|n| n.is_punct('!')) {
+                return; // macro statement (assert!, writeln!, …)
+            }
+        }
+        j += 1;
+    }
+    let Some(call_tok) = last_call else {
+        return;
+    };
+    let name = toks[call_tok].text.clone();
+    // Resolution: the call graph's verdict, with the std builtin list as
+    // a `let _ =`-only fallback (see module docs).
+    let site = graph
+        .calls
+        .iter()
+        .find(|c| c.file == fi && c.tok == call_tok);
+    let resolved_result = site.is_some_and(|c| {
+        // Bare discards trust only unambiguous resolution: free fns, path
+        // calls, and `self.`-dispatched methods. A method on an arbitrary
+        // receiver over-approximates to every same-named workspace method,
+        // and std collections (`map.insert`, `vec.remove`, …) would light
+        // up whenever the workspace defines a fallible namesake.
+        let trustworthy = match &c.kind {
+            crate::callgraph::CallKind::Free | crate::callgraph::CallKind::Path { .. } => true,
+            crate::callgraph::CallKind::Method { recv } => recv.as_deref() == Some("self"),
+        };
+        (is_let_underscore || trustworthy)
+            && !c.targets.is_empty()
+            && c.targets.iter().all(|&t| graph.fns[t].returns_result)
+    });
+    let builtin = is_let_underscore && BUILTIN_RESULT.contains(&name.as_str());
+    if !resolved_result && !builtin {
+        return;
+    }
+    if allow.permits(&file.rel, file.fn_ctx[call_tok].as_deref()) {
+        return;
+    }
+    let line = toks[call_tok].line;
+    let msg = if is_let_underscore {
+        format!(
+            "let-underscore: `let _ =` swallows the `Result` of `{name}`; propagate with \
+             `?`, handle it, or justify in crates/xtask/allow/swallowed.allow"
+        )
+    } else {
+        format!(
+            "discarded: statement drops the `Result` of `{name}` on the floor; propagate \
+             with `?`, handle it, or justify in crates/xtask/allow/swallowed.allow"
+        )
+    };
+    diags.push(Diagnostic {
+        file: file.rel.clone(),
+        line,
+        lint: Lint::SwallowedResult,
+        msg,
+    });
+}

@@ -13,7 +13,8 @@ Commands:
   analyze --self-test       verify the lints against the fixture corpus
 
 Lints: accounting, unsafe-audit, panic-surface, layering, lock-order,
-guard-across-io, stale-allow.
+guard-across-io, hot-path-hygiene, swallowed-result, reachability,
+stale-allow.
 See DESIGN.md \"Static analysis & invariants\" for what each enforces.";
 
 /// Output format for analyze findings.
@@ -74,18 +75,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     if self_test {
         let started = Instant::now();
-        let failures = xtask::selftest::self_test(&root)?;
+        let report = xtask::selftest::self_test(&root)?;
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-        if failures.is_empty() {
+        // Per-lint wall time, so analysis cost stays visible as the
+        // workspace grows.
+        for (lint, ms) in &report.timings {
+            println!("  {lint:<18} {ms:8.1} ms");
+        }
+        if report.failures.is_empty() {
             println!("xtask analyze --self-test: fixture corpus OK ({elapsed_ms:.1} ms)");
             return Ok(ExitCode::SUCCESS);
         }
-        for f in &failures {
+        for f in &report.failures {
             eprintln!("self-test failure: {f}");
         }
         eprintln!(
             "xtask analyze --self-test: {} failure(s) ({elapsed_ms:.1} ms)",
-            failures.len()
+            report.failures.len()
         );
         return Ok(ExitCode::FAILURE);
     }
@@ -109,7 +115,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if diags.is_empty() {
         println!(
             "xtask analyze: workspace clean (accounting, unsafe-audit, panic-surface, \
-             layering, lock-order, guard-across-io, stale-allow)"
+             layering, lock-order, guard-across-io, hot-path-hygiene, swallowed-result, \
+             reachability, stale-allow)"
         );
         return Ok(ExitCode::SUCCESS);
     }

@@ -12,19 +12,34 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::lints;
 use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
 use crate::{Diagnostic, Lint};
 
-/// Runs the whole fixture corpus. Returns the list of failures (empty =
-/// pass).
-pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
+/// Self-test outcome: what failed, and how long each lint's fixture
+/// section took (so analysis cost stays visible as the corpus grows).
+pub struct SelfTestReport {
+    /// Human-readable failure descriptions (empty = pass).
+    pub failures: Vec<String>,
+    /// `(lint name, milliseconds)` per fixture section, in run order.
+    pub timings: Vec<(&'static str, f64)>,
+}
+
+/// Runs the whole fixture corpus.
+pub fn self_test(root: &Path) -> Result<SelfTestReport, String> {
     let fixtures = root.join("crates/xtask/fixtures");
     if !fixtures.is_dir() {
         return Err(format!("fixture corpus missing at {}", fixtures.display()));
     }
     let mut failures = Vec::new();
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let mut timer = Instant::now();
+    let lap = |name: &'static str, timings: &mut Vec<(&'static str, f64)>, timer: &mut Instant| {
+        timings.push((name, timer.elapsed().as_secs_f64() * 1e3));
+        *timer = Instant::now();
+    };
 
     // accounting: fail fixture trips, pass fixture (which routes through
     // wrappers and uses an allowlisted site) stays clean.
@@ -42,6 +57,7 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
         |f| lints::accounting::check_file(f, &allow),
         &mut failures,
     )?;
+    lap("accounting", &mut timings, &mut timer);
 
     // panic-surface.
     check_file_fixture(
@@ -58,6 +74,7 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
         |f| lints::panic_surface::check_file(f, &allow_panics),
         &mut failures,
     )?;
+    lap("panic-surface", &mut timings, &mut timer);
 
     // unsafe-audit: SAFETY comments…
     check_file_fixture(
@@ -96,11 +113,13 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
     if lints::unsafe_audit::check_crate_attr(&denied, "somecrate").len() != 1 {
         failures.push("unsafe_audit/denied_lib.rs: deny must NOT satisfy other crates".to_string());
     }
+    lap("unsafe-audit", &mut timings, &mut timer);
 
     // layering: a bad mini-workspace (manifest edge + source reference) and
     // a good one.
     check_tree_fixture(&fixtures.join("layering/bad"), &mut failures)?;
     check_tree_fixture(&fixtures.join("layering/good"), &mut failures)?;
+    lap("layering", &mut timings, &mut timer);
 
     // lock-order: one fixture per concern — every per-declaration and
     // per-acquisition error code, the declared-order cycle, and a clean
@@ -131,6 +150,7 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
         |f| lints::lock_order::check_file(f, &Allowlist::default()),
         &mut failures,
     )?;
+    lap("lock-order", &mut timings, &mut timer);
 
     // guard-across-io: guards live across page I/O trip; guards dropped
     // (block scope or explicit drop) before I/O, or allowlisted, do not.
@@ -144,6 +164,63 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
         |f| lints::guard_across_io::check_file(f, &allow_locks),
         &mut failures,
     )?;
+    lap("guard-across-io", &mut timings, &mut timer);
+
+    // hot-path-hygiene: annotated roots trip on transitive allocation /
+    // lock / raw-I/O findings plus every malformed-annotation shape; the
+    // pass fixture shows clean traversal, the boundary annotation, the
+    // accounting seam, and an allowlisted site staying quiet.
+    check_file_fixture(
+        &fixtures.join("hotpath/fail.rs"),
+        |f| lints::hot_path::check_file(f, &Allowlist::default(), &Allowlist::default()),
+        &mut failures,
+    )?;
+    let allow_hot = Allowlist::parse(
+        "# self-test: the fixture's justified hot-path site\n\
+         crates/experiments/src/fixture.rs::justified_helper\n",
+    );
+    let accounting_seam = Allowlist::parse(
+        "# self-test: the fixture's accounting seam\n\
+         crates/experiments/src/fixture.rs::seam_read\n",
+    );
+    check_file_fixture(
+        &fixtures.join("hotpath/pass.rs"),
+        |f| lints::hot_path::check_file(f, &allow_hot, &accounting_seam),
+        &mut failures,
+    )?;
+    lap("hot-path-hygiene", &mut timings, &mut timer);
+
+    // swallowed-result: both discard shapes trip; propagation, handling,
+    // unit-returning calls and an allowlisted site stay quiet.
+    check_file_fixture(
+        &fixtures.join("swallowed_result/fail.rs"),
+        |f| lints::swallowed_result::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    let allow_swallowed = Allowlist::parse(
+        "# self-test: the fixture's intentional swallow\n\
+         crates/experiments/src/fixture.rs::allowlisted_site\n",
+    );
+    check_file_fixture(
+        &fixtures.join("swallowed_result/pass.rs"),
+        |f| lints::swallowed_result::check_file(f, &allow_swallowed),
+        &mut failures,
+    )?;
+    lap("swallowed-result", &mut timings, &mut timer);
+
+    // reachability: dead private fns and unreferenced pub-in-private fns
+    // trip; called fns, trait machinery and public API stay quiet.
+    check_file_fixture(
+        &fixtures.join("reachability/fail.rs"),
+        lints::reachability::check_file,
+        &mut failures,
+    )?;
+    check_file_fixture(
+        &fixtures.join("reachability/pass.rs"),
+        lints::reachability::check_file,
+        &mut failures,
+    )?;
+    lap("reachability", &mut timings, &mut timer);
 
     // stale-allow: a consulted entry stays quiet, an unmatched one is
     // reported with its own file/line.
@@ -159,8 +236,9 @@ pub fn self_test(root: &Path) -> Result<Vec<String>, String> {
             "stale-allow: expected exactly the `never/matched.rs` entry at line 2, got {got:?}"
         ));
     }
+    lap("stale-allow", &mut timings, &mut timer);
 
-    Ok(failures)
+    Ok(SelfTestReport { failures, timings })
 }
 
 /// Loads a fixture file as library code of a pretend `experiments` crate.

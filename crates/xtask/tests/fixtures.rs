@@ -12,10 +12,10 @@ fn repo_root() -> PathBuf {
 
 #[test]
 fn every_fixture_marker_is_matched_exactly() {
-    let failures = xtask::selftest::self_test(&repo_root()).expect("fixtures readable");
+    let report = xtask::selftest::self_test(&repo_root()).expect("fixtures readable");
     assert!(
-        failures.is_empty(),
+        report.failures.is_empty(),
         "analyzer drifted from its fixtures:\n{}",
-        failures.join("\n")
+        report.failures.join("\n")
     );
 }
