@@ -383,6 +383,8 @@ impl Bssf {
                     };
                     let res = self.read_slice_bytes(ones[idx]);
                     if let Ok((_, np)) = &res {
+                        // ATOMIC: Relaxed — physical charge read after the
+                        // scope joins every fetch worker.
                         ctr.physical.fetch_add(*np, Ordering::Relaxed);
                     }
                     let mut g = shared.lock().unwrap();
@@ -410,6 +412,8 @@ impl Bssf {
                         return Err(e);
                     }
                 };
+                // ATOMIC: Relaxed — logical charge; the consumer thread owns
+                // the total after the scope ends.
                 ctr.logical.fetch_add(np, Ordering::Relaxed);
                 ctr.note_slices(1);
                 let empty = match &mut acc {
@@ -476,6 +480,9 @@ impl Bssf {
                             let mut bytes = Vec::new();
                             let mut pages = 0u64;
                             loop {
+                                // ATOMIC: Relaxed — unique work tickets via
+                                // the RMW; slice bytes travel through the
+                                // reader, not this counter.
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= zeros.len() {
                                     break;
@@ -539,6 +546,8 @@ impl Bssf {
                             let mut bytes = Vec::new();
                             let mut pages = 0u64;
                             loop {
+                                // ATOMIC: Relaxed — same unique-ticket RMW
+                                // as the subset scan above.
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= ones.len() {
                                     break;

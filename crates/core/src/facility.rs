@@ -47,6 +47,8 @@ impl ScanCounters {
     /// Charges pages read on a non-speculative path (logical == physical).
     pub(crate) fn charge_both(&self, pages: u64) {
         use std::sync::atomic::Ordering;
+        // ATOMIC: Relaxed ×2 — page charges are summed after the scan's
+        // threads join; the join supplies the happens-before.
         self.logical.fetch_add(pages, Ordering::Relaxed);
         self.physical.fetch_add(pages, Ordering::Relaxed);
     }
@@ -54,17 +56,21 @@ impl ScanCounters {
     /// Notes `n` slices/frames touched by the scan (trace-only fact).
     pub(crate) fn note_slices(&self, n: u64) {
         use std::sync::atomic::Ordering;
+        // ATOMIC: Relaxed — a trace-only tally, read after the scan ends.
         self.slices.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Marks that the scan stopped before its slice/page budget.
     pub(crate) fn mark_early_exit(&self) {
         use std::sync::atomic::Ordering;
+        // ATOMIC: Relaxed — a monotone flag; no data is published with it.
         self.early_exit.store(true, Ordering::Relaxed);
     }
 
     pub(crate) fn stats(&self) -> ScanStats {
         use std::sync::atomic::Ordering;
+        // ATOMIC: Relaxed ×2 — read once the scan (and any worker joins)
+        // completed; the counters are quiescent here.
         ScanStats {
             logical_pages: self.logical.load(Ordering::Relaxed),
             physical_pages: self.physical.load(Ordering::Relaxed),
@@ -74,6 +80,7 @@ impl ScanCounters {
     /// The trace facts: `(slices touched, early exit)`.
     pub(crate) fn probe(&self) -> (u64, bool) {
         use std::sync::atomic::Ordering;
+        // ATOMIC: Relaxed ×2 — same quiescent read as `stats`.
         (
             self.slices.load(Ordering::Relaxed),
             self.early_exit.load(Ordering::Relaxed),

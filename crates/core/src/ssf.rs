@@ -273,6 +273,9 @@ impl Ssf {
                         let mut segs = Vec::new();
                         let mut pages = 0u64;
                         loop {
+                            // ATOMIC: Relaxed — the RMW alone makes tickets
+                            // unique; page data flows through `scan_page`,
+                            // never through this counter.
                             let p = next.fetch_add(1, Ordering::Relaxed);
                             if p >= npages as usize {
                                 break;

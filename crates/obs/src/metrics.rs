@@ -22,11 +22,13 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ATOMIC: Relaxed — an event tally; nothing is published through it.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ATOMIC: Relaxed — monitoring read; a stale count is acceptable.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -38,6 +40,7 @@ pub struct Gauge(AtomicI64);
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, v: i64) {
+        // ATOMIC: Relaxed — last-write-wins level; no cross-cell ordering.
         self.0.store(v, Ordering::Relaxed);
     }
 
@@ -46,6 +49,7 @@ impl Gauge {
     /// increments and decrements must not lose updates the way
     /// read-modify-`set` would.
     pub fn add(&self, delta: i64) {
+        // ATOMIC: Relaxed — the RMW already makes the adjustment lossless.
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -53,11 +57,13 @@ impl Gauge {
     /// high-water mark (peak queue depth), race-free under concurrent
     /// observers.
     pub fn set_max(&self, v: i64) {
+        // ATOMIC: Relaxed — fetch_max is race-free on its own cell.
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // ATOMIC: Relaxed — monitoring read; a stale level is acceptable.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -94,6 +100,9 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
+        // ATOMIC: Relaxed ×3 — the cells advance independently; a snapshot
+        // racing this record may see count without sum, and the snapshot
+        // contract (below) allows exactly that skew.
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -101,6 +110,8 @@ impl Histogram {
 
     /// Point-in-time copy of the histogram state.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ATOMIC: Relaxed ×3 — a copy taken under concurrent records is
+        // approximate by design; per-cell loads never tear.
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             count: self.count.load(Ordering::Relaxed),

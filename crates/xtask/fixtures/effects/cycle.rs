@@ -1,0 +1,38 @@
+//! effects CYCLE fixture: `descend` ↔ `ascend` form a strongly connected
+//! component, so the panic inside the cycle (and the one past it) must
+//! reach both pub entry points through the SCC fixed point. Each sink is
+//! reported exactly once — the first entry in definition order (`walk`)
+//! claims it, which the witness-chain pins below check — so `walk_again`
+//! adds no diagnostics.
+
+/// First entry point: claims every sink it can reach.
+pub fn walk(n: u32) -> u32 {
+    descend(n)
+}
+
+/// Second entry point into the same cycle: dedup-by-sink keeps it quiet.
+pub fn walk_again(n: u32) -> u32 {
+    descend(n)
+}
+
+fn descend(n: u32) -> u32 {
+    if n == 0 {
+        bottom(n)
+    } else {
+        ascend(n - 1)
+    }
+}
+
+fn ascend(n: u32) -> u32 {
+    let head = [n].first().copied().unwrap(); //~ ERROR panic-reachability: pub fn `walk` can reach `.unwrap()`: walk (crates/experiments/src/fixture.rs:9) → descend (crates/experiments/src/fixture.rs:10)
+    if head > 9 {
+        descend(head)
+    } else {
+        head
+    }
+}
+
+fn bottom(n: u32) -> u32 {
+    let xs = [1u32, 2];
+    xs[n as usize] //~ ERROR panic-reachability: pub fn `walk` can reach `xs[..]`
+}

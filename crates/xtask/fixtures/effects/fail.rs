@@ -1,0 +1,61 @@
+//! effects FAIL fixture: the `service.dispatch` root reaches blocking
+//! primitives past its own body, and pub entry points reach panics
+//! outside any cycle. The boundary fn's own body is still checked; what
+//! lies beyond it is not.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Queue {
+    state: Mutex<u64>,
+    ready: Condvar,
+}
+
+/// The dispatch loop. Its OWN body may block — the admission-queue idle
+/// wait below is the designed parking spot, exempt by construction — but
+/// nothing it runs afterwards may.
+// HOT-PATH: service.dispatch
+fn worker_loop(q: &Queue) -> u64 {
+    let guard = q.state.lock();
+    let n = guard.map(|g| *q.ready.wait(g).ok().as_deref().unwrap_or(&0)).ok();
+    run_task(n.unwrap_or(0))
+}
+
+fn run_task(n: u64) -> u64 {
+    merge(n) + fan_out(n)
+}
+
+/// A channel rendezvous smuggled into the merge step: one slow producer
+/// stalls the worker.
+fn merge(n: u64) -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    tx.send(n).ok();
+    rx.recv().ok().unwrap_or(0) //~ ERROR blocking-in-worker: worker-blocks: `.recv()`
+}
+
+/// A boundary: its own body is checked (the sleep trips), but `beyond`
+/// is not followed — its thread join produces no diagnostic.
+// HOT-PATH-BOUNDARY: shard fan-out reviewed on its own
+fn fan_out(n: u64) -> u64 {
+    std::thread::sleep(std::time::Duration::from_millis(n)); //~ ERROR blocking-in-worker: thread::sleep
+    beyond(n)
+}
+
+fn beyond(n: u64) -> u64 {
+    let h = std::thread::spawn(move || n);
+    h.join().ok().unwrap_or(0)
+}
+
+/// A pub entry reaching a panic through a helper chain — the witness
+/// names the hop.
+pub fn api_lookup(xs: &[u32], i: usize) -> u32 {
+    fetch(xs, i)
+}
+
+fn fetch(xs: &[u32], i: usize) -> u32 {
+    xs[i] //~ ERROR panic-reachability: api_lookup (crates/experiments/src/fixture.rs:50) → fetch (crates/experiments/src/fixture.rs:51)
+}
+
+/// A panic primitive directly in the pub body.
+pub fn api_head(xs: &[u32]) -> u32 {
+    *xs.first().expect("nonempty") //~ ERROR panic-reachability: .expect()
+}

@@ -1,0 +1,39 @@
+//! effects PASS fixture: a dispatch root that stays non-blocking past
+//! its own body, effect look-alikes that must not count, and a panic
+//! sink the self-test allowlist justifies. Nothing here may produce a
+//! diagnostic.
+
+/// The dispatch root: pure arithmetic and string building downstream.
+// HOT-PATH: service.dispatch
+fn worker_loop(n: u64) -> u64 {
+    step(n)
+}
+
+fn step(n: u64) -> u64 {
+    label(&[n.to_string()]) as u64
+}
+
+/// `join` WITH a separator builds a string — only the zero-arity form
+/// blocks a thread.
+fn label(parts: &[String]) -> usize {
+    parts.join(", ").len()
+}
+
+/// The sink below is justified in the self-test allowlist
+/// (`fixture.rs::checked_math`), silencing every entry that reaches it.
+pub fn api_total(xs: &[u32]) -> u32 {
+    checked_math(xs)
+}
+
+fn checked_math(xs: &[u32]) -> u32 {
+    xs.iter().copied().sum::<u32>().checked_add(1).unwrap()
+}
+
+/// Slice patterns and array types are not indexing.
+pub fn api_pair(xs: &[u32]) -> u32 {
+    if let [a, b] = xs {
+        a + b
+    } else {
+        0
+    }
+}

@@ -28,7 +28,7 @@ pub fn probe_again(xs: &[u32]) -> u32 {
 }
 
 fn helper(xs: &[u32]) -> u32 {
-    let copy = xs.to_vec(); //~ ERROR hot-path-hygiene: alloc-in-hot-path
+    let copy = xs.to_vec(); //~ ERROR hot-path-hygiene: probe (crates/experiments/src/fixture.rs:19) → helper (crates/experiments/src/fixture.rs:20) → `.to_vec()`
     let label = format!("{}", copy.len()); //~ ERROR hot-path-hygiene: alloc-in-hot-path
     label.len() as u32 + vec![0u8; 1].len() as u32 //~ ERROR hot-path-hygiene: vec!
 }
@@ -70,6 +70,17 @@ pub fn dispatch(s: &Shared) -> u64 {
 // HOT-PATH: fixture.read_row
 pub fn read_row(disk: &Disk, f: FileId) {
     disk.read_page(f, 0); //~ ERROR hot-path-hygiene: io-in-hot-path
+}
+
+/// The widened ALLOC table: pre-sizing, collect, to_string and Arc all
+/// count — hoist them to setup code.
+// HOT-PATH: fixture.widened
+pub fn widened(xs: &[u32]) -> usize {
+    let v: Vec<u32> = Vec::with_capacity(xs.len()); //~ ERROR hot-path-hygiene: Vec::with_capacity
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect(); //~ ERROR hot-path-hygiene: .collect()
+    let label = xs.len().to_string(); //~ ERROR hot-path-hygiene: .to_string()
+    let shared = std::sync::Arc::new(7u64); //~ ERROR hot-path-hygiene: Arc::new
+    v.capacity() + doubled.len() + label.len() + *shared as usize
 }
 
 /// Malformed annotations, one per shape.

@@ -26,12 +26,16 @@ pub fn cold_path() -> Vec<u8> {
     v.to_vec()
 }
 
-/// Pre-sizing is the *fix*, not a violation: `with_capacity` is
-/// deliberately outside the token list.
+/// Pre-sizing belongs in setup code: `with_capacity` is in the ALLOC
+/// table, so the kernel takes the caller-owned buffer instead of
+/// allocating its own.
+pub fn presized_setup(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}
+
 // HOT-PATH: fixture.presized
-pub fn presized(n: usize) -> u64 {
-    let v: Vec<u8> = Vec::with_capacity(n);
-    v.capacity() as u64
+pub fn presized(buf: &mut Vec<u8>) -> u64 {
+    buf.capacity() as u64
 }
 
 /// The helper allocates, but the self-test allowlist justifies it

@@ -165,6 +165,105 @@ impl<'a> CallGraph<'a> {
         self.calls.iter().filter(|c| c.targets.is_empty())
     }
 
+    /// Whether an interprocedural traversal should follow `call` to
+    /// `target`.
+    ///
+    /// Free and path calls resolve by name and type, so they are followed
+    /// as-is. A method call on an arbitrary receiver over-approximates to
+    /// every same-named workspace method, and common names (`insert`,
+    /// `wait`, `clear`) would drag a traversal across crates through std
+    /// receivers; `self.` dispatch is exact, same-crate candidates are
+    /// plausible, and cross-crate method hops are dropped — each layer
+    /// declares its own roots over its own kernels (DESIGN.md §9).
+    pub fn trusts(&self, call: &CallSite, target: usize) -> bool {
+        match &call.kind {
+            CallKind::Free | CallKind::Path { .. } => true,
+            CallKind::Method { recv } => {
+                recv.as_deref() == Some("self")
+                    || self.files[self.fns[target].file].crate_dir
+                        == self.files[call.file].crate_dir
+            }
+        }
+    }
+
+    /// The trusted, non-test out-edges of `fid` as `(call index, target)`
+    /// pairs — the exact edge set every effect traversal walks.
+    pub fn trusted_edges(&self, fid: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for &ci in &self.calls_by_fn[fid] {
+            let call = &self.calls[ci];
+            if call.is_test {
+                continue;
+            }
+            for &t in &call.targets {
+                if self.trusts(call, t) {
+                    out.push((ci, t));
+                }
+            }
+        }
+        out
+    }
+
+    /// Strongly connected components over the trusted, non-test edges,
+    /// callees first: every SCC is emitted before any SCC that calls into
+    /// it — exactly the order a bottom-up effect fixed point wants.
+    ///
+    /// Iterative Tarjan (explicit DFS frames), so a deep call chain in a
+    /// scanned file cannot overflow the analyzer's own stack.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.fns.len();
+        let succ: Vec<Vec<usize>> = (0..n)
+            .map(|f| self.trusted_edges(f).into_iter().map(|(_, t)| t).collect())
+            .collect();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(frame) = frames.last_mut() {
+                let (v, ei) = *frame;
+                if ei == 0 {
+                    index[v] = next;
+                    low[v] = next;
+                    next += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = succ[v].get(ei) {
+                    frame.1 += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// One pass over one file: function definitions and raw call sites.
     fn scan_file(&mut self, fi: usize, file: &SourceFile) {
         let toks = &file.scanned.toks;
@@ -305,6 +404,27 @@ impl<'a> CallGraph<'a> {
                 )
             }
             CallKind::Path { qual } => {
+                // `Self::f(…)` inside a trait's *default body* has no impl
+                // type to name — the trait itself scopes the call, so it
+                // resolves to that trait's declarations and impl methods
+                // (an over-approximation across implementors, like method
+                // dispatch on an unknown receiver).
+                if qual == "Self" {
+                    if let Some(c) = caller.filter(|c| c.self_ty.is_none()) {
+                        if let Some(tr) = c.trait_name.as_deref() {
+                            let in_trait: Vec<usize> = all
+                                .iter()
+                                .copied()
+                                .filter(|&f| self.fns[f].trait_name.as_deref() == Some(tr))
+                                .collect();
+                            return prefer(
+                                &in_trait,
+                                |f| self.files[self.fns[f].file].crate_dir == file.crate_dir,
+                                |_| true,
+                            );
+                        }
+                    }
+                }
                 let want_ty = if qual == "Self" {
                     caller.and_then(|c| c.self_ty.clone())
                 } else if qual.chars().next().is_some_and(char::is_uppercase) {
@@ -746,6 +866,93 @@ mod tests {
         assert!(fn_named(&g, "hidden").in_private_mod);
         assert!(!fn_named(&g, "shown").in_private_mod);
         assert!(fn_named(&g, "t").is_test);
+    }
+
+    #[test]
+    fn self_calls_in_trait_default_bodies_resolve() {
+        let f = file(
+            "crates/a/src/lib.rs",
+            "a",
+            "trait T {\n\
+               fn t_helper() -> u32 { 7 }\n\
+               fn go() -> u32 { Self::t_helper() }\n\
+             }\n\
+             struct S;\n\
+             impl T for S { fn t_helper() -> u32 { 9 } }\n",
+        );
+        let g = graph(&[&f]);
+        let call = call_named(&g, "t_helper");
+        assert_eq!(
+            call.kind,
+            CallKind::Path {
+                qual: "Self".to_string()
+            }
+        );
+        assert_eq!(
+            call.targets.len(),
+            2,
+            "trait default + impl override, not the unresolved bucket"
+        );
+        assert!(call
+            .targets
+            .iter()
+            .all(|&t| g.fns[t].trait_name.as_deref() == Some("T")));
+    }
+
+    #[test]
+    fn sccs_come_out_callees_first() {
+        let f = file(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn a() { b(); }\n\
+             fn b() { a(); leaf(); }\n\
+             fn leaf() {}\n",
+        );
+        let g = graph(&[&f]);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 2);
+        let pos = |name: &str| {
+            sccs.iter()
+                .position(|c| c.iter().any(|&f| g.fns[f].name == name))
+                .unwrap()
+        };
+        assert!(pos("leaf") < pos("a"), "callee SCC emitted first");
+        assert_eq!(pos("a"), pos("b"), "the a↔b cycle is one component");
+        assert_eq!(sccs[pos("a")].len(), 2);
+    }
+
+    #[test]
+    fn cross_crate_method_hops_are_untrusted() {
+        let a = file(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub struct W; impl W { pub fn wait(&self) {} }\n",
+        );
+        let b = file(
+            "crates/b/src/lib.rs",
+            "b",
+            "struct Own; impl Own {\n\
+               fn wait(&self) {}\n\
+               fn go(&self, cv: &W) { self.wait(); cv.wait(); }\n\
+             }\n",
+        );
+        let g = graph(&[&a, &b]);
+        let calls: Vec<&CallSite> = g.calls.iter().filter(|c| c.name == "wait").collect();
+        assert_eq!(calls.len(), 2);
+        for c in calls {
+            let CallKind::Method { recv } = &c.kind else {
+                panic!("method call expected");
+            };
+            for &t in &c.targets {
+                let same_crate = g.files[g.fns[t].file].crate_dir == g.files[c.file].crate_dir;
+                assert_eq!(
+                    g.trusts(c, t),
+                    recv.as_deref() == Some("self") || same_crate,
+                    "recv={recv:?} target in {:?}",
+                    g.files[g.fns[t].file].rel
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! # xtask — project-specific static analysis for the setsig workspace
 //!
-//! `cargo xtask analyze` runs ten offline, hand-rolled lints over the
+//! `cargo xtask analyze` runs twelve offline, hand-rolled lints over the
 //! workspace source (token-level scanner, no network, no rustc plumbing):
 //!
 //! 1. **accounting** — raw page I/O (`read_page` / `write_page`) may only be
@@ -35,14 +35,31 @@
 //!    accounting seam; `// HOT-PATH-BOUNDARY:` stops traversal at
 //!    reviewed dispatch points, and justified sites live in
 //!    `allow/hotpath.allow` (see [`lints::hot_path`]).
-//! 8. **swallowed-result** — `let _ =` / a bare statement discarding a
-//!    `Result`-returning call in library code is an error, with
-//!    intentional swallows justified in `allow/swallowed.allow`.
-//! 9. **reachability** — never-called non-`pub` fns and unreferenced
-//!    `pub` fns in private modules are reported, keeping the growing
-//!    workspace dead-code-free.
-//! 10. **stale-allow** — every `crates/xtask/allow/*.allow` entry must
+//! 8. **panic-reachability** — every `pub` API entry point of `core` /
+//!    `pagestore` / `service` that can transitively reach a panic
+//!    (unwrap/expect, `panic!` family, indexing) is reported with its
+//!    witness chain; justified sinks live in `allow/panic_reach.allow`
+//!    (see [`effects`]).
+//! 9. **blocking-in-worker** — nothing reachable from the
+//!    `service.dispatch` hot-path root past its boundary may carry the
+//!    `BLOCK` effect (condvar waits, `join`/`recv`, `thread::sleep`);
+//!    the worker's own admission wait is the one sanctioned block.
+//! 10. **swallowed-result** — `let _ =` / a bare statement discarding a
+//!     `Result`-returning call in library code is an error, with
+//!     intentional swallows justified in `allow/swallowed.allow`.
+//! 11. **reachability** — never-called non-`pub` fns and unreferenced
+//!     `pub` fns in private modules are reported, keeping the growing
+//!     workspace dead-code-free.
+//! 12. **stale-allow** — every `crates/xtask/allow/*.allow` entry must
 //!     still match a real site; dangling suppressions fail the run.
+//!
+//! Hot-path-hygiene, panic-reachability and blocking-in-worker are all
+//! queries against one bottom-up **effect inference** ([`effects`]): per
+//! fn, a set over `{ALLOC, LOCK, RAW_IO, PANIC, BLOCK}` computed by an
+//! SCC fixed point over the call graph, reported with shortest witness
+//! chains. `cargo xtask effects` dumps the public-API effect matrix as
+//! JSON, and `cargo xtask effects --check` diffs it against the
+//! committed `crates/xtask/effects.baseline.json`, failing on any drift.
 //!
 //! The analyzer is deliberately syntactic: it trades soundness-in-general
 //! for zero dependencies and total transparency. Each lint is a small token
@@ -55,6 +72,7 @@
 #![forbid(unsafe_code)]
 
 pub mod callgraph;
+pub mod effects;
 pub mod lints;
 pub mod locks;
 pub mod scan;
@@ -84,12 +102,21 @@ pub enum Lint {
     /// An allocation, lock acquisition, or raw page-I/O call reachable
     /// from a `// HOT-PATH:` root through the call graph.
     HotPath,
+    /// A panic primitive reachable from a `pub` API entry point of the
+    /// gated crates.
+    PanicReach,
+    /// A blocking primitive reachable from the `service.dispatch` root
+    /// past its own body.
+    BlockingWorker,
     /// A `Result`-returning call whose value is silently discarded.
     SwallowedResult,
     /// A function no workspace code can reach.
     Reachability,
     /// An allowlist entry that matched no site this run.
     StaleAllow,
+    /// The public-API effect matrix drifted from the committed baseline
+    /// (`cargo xtask effects --check`).
+    EffectRegression,
 }
 
 impl Lint {
@@ -103,9 +130,12 @@ impl Lint {
             Lint::LockOrder => "lock-order",
             Lint::GuardAcrossIo => "guard-across-io",
             Lint::HotPath => "hot-path-hygiene",
+            Lint::PanicReach => "panic-reachability",
+            Lint::BlockingWorker => "blocking-in-worker",
             Lint::SwallowedResult => "swallowed-result",
             Lint::Reachability => "reachability",
             Lint::StaleAllow => "stale-allow",
+            Lint::EffectRegression => "effect-regression",
         }
     }
 
@@ -119,9 +149,12 @@ impl Lint {
             "lock-order" => Some(Lint::LockOrder),
             "guard-across-io" => Some(Lint::GuardAcrossIo),
             "hot-path-hygiene" => Some(Lint::HotPath),
+            "panic-reachability" => Some(Lint::PanicReach),
+            "blocking-in-worker" => Some(Lint::BlockingWorker),
             "swallowed-result" => Some(Lint::SwallowedResult),
             "reachability" => Some(Lint::Reachability),
             "stale-allow" => Some(Lint::StaleAllow),
+            "effect-regression" => Some(Lint::EffectRegression),
             _ => None,
         }
     }
@@ -162,7 +195,7 @@ impl Diagnostic {
 }
 
 /// Minimal JSON string encoder (the analyzer stays zero-dependency).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -200,6 +233,8 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let allow_panics = ws.allowlist("panics.allow")?;
     let allow_locks = ws.allowlist("locks.allow")?;
     let allow_hotpath = ws.allowlist("hotpath.allow")?;
+    let allow_panic_reach = ws.allowlist("panic_reach.allow")?;
+    let allow_blocking = ws.allowlist("blocking.allow")?;
     let allow_swallowed = ws.allowlist("swallowed.allow")?;
     let mut diags = Vec::new();
     diags.extend(lints::accounting::run(&ws, &allow_accounting));
@@ -209,6 +244,8 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
     diags.extend(lints::lock_order::run(&ws, &allow_locks));
     diags.extend(lints::guard_across_io::run(&ws, &allow_locks));
     diags.extend(lints::hot_path::run(&ws, &allow_hotpath, &allow_accounting));
+    diags.extend(lints::panic_reach::run(&ws, &allow_panic_reach));
+    diags.extend(lints::blocking_worker::run(&ws, &allow_blocking));
     diags.extend(lints::swallowed_result::run(&ws, &allow_swallowed));
     diags.extend(lints::reachability::run(&ws));
     diags.extend(lints::stale_allow::check(&[
@@ -216,6 +253,8 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
         ("crates/xtask/allow/panics.allow", &allow_panics),
         ("crates/xtask/allow/locks.allow", &allow_locks),
         ("crates/xtask/allow/hotpath.allow", &allow_hotpath),
+        ("crates/xtask/allow/panic_reach.allow", &allow_panic_reach),
+        ("crates/xtask/allow/blocking.allow", &allow_blocking),
         ("crates/xtask/allow/swallowed.allow", &allow_swallowed),
     ]));
     diags.sort_by(|a, b| (&a.file, a.line, a.lint, &a.msg).cmp(&(&b.file, b.line, b.lint, &b.msg)));

@@ -1,0 +1,109 @@
+//! blocking-in-worker: nothing reachable from the `service.dispatch`
+//! hot-path root past its boundary may block the worker thread.
+//!
+//! The query service's workers drain a shared admission queue; the pool's
+//! throughput argument (DESIGN.md §8) assumes a worker that has picked up
+//! a task runs it to completion without parking. A blocking wait smuggled
+//! into the dispatch path — a condvar wait inside a shard, a channel
+//! `recv` in a merge step — would let one slow shard stall a worker and,
+//! transitively, the whole pool.
+//!
+//! The lint queries the [`crate::effects`] inference for `BLOCK`
+//! (`.wait(…)` / `.wait_timeout(…)`, zero-arity `.join()` / `.recv()`,
+//! `thread::sleep`) from the fn annotated `// HOT-PATH: service.dispatch`
+//! (the root registry is shared with hot-path-hygiene):
+//!
+//! * the root's **own body is exempt** — the admission-queue condvar wait
+//!   in `worker_loop` is the designed idle state, blocking *before* work
+//!   is picked up, not during it;
+//! * `HOT-PATH-BOUNDARY:` fns are checked but not followed, mirroring
+//!   hot-path-hygiene (the shard router's fan-out is reviewed there);
+//! * everything else reachable over trusted call edges must be
+//!   `BLOCK`-free, or justified by **sink** fn in `allow/blocking.allow`.
+//!
+//! A workspace without the `service.dispatch` root is itself an error:
+//! deleting the annotation must not silently disarm the gate.
+
+use crate::effects::{self, Effect, EffectGraph, EffectSet, Traversal};
+use crate::lints::hot_path;
+use crate::workspace::{Allowlist, FileClass, SourceFile};
+use crate::{Diagnostic, Lint};
+
+/// The hot-path root name the gate keys off.
+pub const DISPATCH_ROOT: &str = "service.dispatch";
+
+/// Runs the lint over the whole workspace (lib + bin code).
+pub fn run(ws: &crate::workspace::Workspace, allow: &Allowlist) -> Vec<Diagnostic> {
+    let files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.class != FileClass::Test)
+        .collect();
+    check_files(&files, allow)
+}
+
+/// Fixture entry point: one file, its own mini effect graph.
+pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
+    check_files(&[file], allow)
+}
+
+/// Core: walk `BLOCK` findings from every `service.dispatch` root.
+pub fn check_files(files: &[&SourceFile], allow: &Allowlist) -> Vec<Diagnostic> {
+    let eg = EffectGraph::build(files);
+    let ann = hot_path::collect_annotations(&eg.graph);
+    let roots: Vec<usize> = ann
+        .roots
+        .iter()
+        .filter(|(_, name)| name == DISPATCH_ROOT)
+        .map(|(fid, _)| *fid)
+        .collect();
+    if roots.is_empty() {
+        let file = eg.graph.files[0];
+        return vec![Diagnostic {
+            file: file.rel.clone(),
+            line: 1,
+            lint: Lint::BlockingWorker,
+            msg: format!(
+                "missing-root: no fn is annotated `// HOT-PATH: {DISPATCH_ROOT}`; the \
+                 worker-blocking gate has nothing to protect — restore the annotation \
+                 on the dispatch loop"
+            ),
+        }];
+    }
+    let want = EffectSet::of(&[Effect::Block]);
+    let mut diags = Vec::new();
+    let mut seen_sites: std::collections::HashSet<(usize, u32, String)> =
+        std::collections::HashSet::new();
+    for root in roots {
+        let tr = Traversal {
+            boundaries: ann.boundaries.clone(),
+            // The worker's own admission wait is the designed idle state.
+            include_root_body: false,
+            ..Traversal::default()
+        };
+        for finding in effects::reach(&eg, root, want, &tr) {
+            let sink = &eg.graph.fns[finding.fid];
+            let sink_file = eg.graph.files[sink.file];
+            if allow.permits(&sink_file.rel, Some(&sink.name)) {
+                continue;
+            }
+            let key = (sink.file, finding.line, finding.what.clone());
+            if !seen_sites.insert(key) {
+                continue;
+            }
+            let w = effects::witness(&eg, root, &finding);
+            diags.push(Diagnostic {
+                file: sink_file.rel.clone(),
+                line: finding.line,
+                lint: Lint::BlockingWorker,
+                msg: format!(
+                    "worker-blocks: `{}` blocks the dispatch worker: {w}; one slow shard \
+                     must not stall the pool — make the path non-blocking or justify the \
+                     sink in crates/xtask/allow/blocking.allow",
+                    finding.what
+                ),
+            });
+        }
+    }
+    diags
+}

@@ -13,16 +13,14 @@
 //! (written as a `//` comment; `<name>` matches `[A-Za-z0-9_.-]+`, the
 //! convention is `crate.path`, e.g. `bssf.and_loop`).
 //!
-//! `HOT-PATH:` marks the fn as a hot-path **root**: its body and — via
-//! the [`crate::callgraph`] — everything it can reach must not
-//!
-//! * allocate: `Vec::new` / `vec![…]` / `.to_vec()` / `.clone()` /
-//!   `Box::new` / `format!` / `String::from`;
-//! * acquire any lock (`.lock()`, or `.read()`/`.write()` on an `RwLock`
-//!   declared in the same file — the same receiver heuristic as
-//!   `guard-across-io`, so `io::Read::read` cannot false-positive);
-//! * call raw page I/O (`read_page` / `write_page`) outside the
-//!   accounting seam (fns permitted by `allow/accounting.allow`).
+//! `HOT-PATH:` marks the fn as a hot-path **root**. The lint is a query
+//! against the [`crate::effects`] inference: the root's reachable set
+//! (over trusted call edges) must carry neither `ALLOC` nor `LOCK` nor
+//! `RAW_IO` — the primitive tables live in `effects.rs` and include
+//! `Vec::with_capacity` and `.collect()`, so pre-sizing *inside* the
+//! kernel now counts and must be hoisted to setup code. Every finding is
+//! reported with its shortest **witness chain**, `root (file:line) → hop
+//! (call file:line) → … → `primitive` (file:line)`.
 //!
 //! `HOT-PATH-BOUNDARY:` marks a fn where traversal **stops**: its own
 //! body is still checked, but its callees are not followed. This is the
@@ -32,20 +30,19 @@
 //! `<reason>` keeps the exemption reviewable.
 //!
 //! Justified violations live in `allow/hotpath.allow`, keyed by the
-//! **callee** fn (one `file.rs::fn` entry covers every finding inside that
-//! fn, on every hot path that reaches it).
+//! **sink** fn (one `file.rs::fn` entry covers every finding inside that
+//! fn, on every hot path that reaches it). Raw I/O inside the accounting
+//! seam (fns permitted by `allow/accounting.allow`) is sanctioned.
 //!
-//! # Blind spots (deliberate, see DESIGN.md §9)
+//! # Blind spots (deliberate, see DESIGN.md §9–10)
 //!
 //! Calls that resolve to nothing (std, vendored deps) are not traversed;
-//! allocation is matched by the exact token list above, so e.g.
-//! `Vec::with_capacity` pre-sizing outside the loop is allowed by
-//! construction.
+//! allocation is matched by the exact token tables in `effects.rs`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::callgraph::CallGraph;
-use crate::locks::{self, AcqMethod, LockKind};
+use crate::effects::{self, Effect, EffectGraph, EffectSet, Traversal};
 use crate::workspace::{Allowlist, FileClass, SourceFile};
 use crate::{Diagnostic, Lint};
 
@@ -57,18 +54,6 @@ pub const BOUNDARY_ANNOTATION: &str = "HOT-PATH-BOUNDARY:";
 
 /// How many lines above the `fn` the annotation may sit.
 pub const ANNOTATION_WINDOW: u32 = 3;
-
-/// Method calls that allocate.
-const ALLOC_METHODS: [&str; 2] = ["clone", "to_vec"];
-
-/// Macros that allocate.
-const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
-
-/// `Type::fn` associated calls that allocate.
-const ALLOC_PATHS: [(&str, &str); 3] = [("Vec", "new"), ("Box", "new"), ("String", "from")];
-
-/// Raw page-I/O entry points (the accounting lint's subject).
-const IO_CALLS: [&str; 2] = ["read_page", "write_page"];
 
 /// Runs the lint over the whole workspace (lib + bin code).
 pub fn run(
@@ -123,20 +108,29 @@ fn valid_path_name(s: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
 }
 
-/// Core: build the graph, find the annotated roots and boundaries, and
-/// walk each root's reachable set.
-pub fn check_files(
-    files: &[&SourceFile],
-    allow: &Allowlist,
-    accounting: &Allowlist,
-) -> Vec<Diagnostic> {
-    let graph = CallGraph::build(files);
-    let mut diags = Vec::new();
+/// The hot-path annotations over a call graph: named roots (in definition
+/// order), boundary fns, and malformed-annotation diagnostics.
+///
+/// Shared with `blocking-in-worker`, which keys off the root named
+/// `service.dispatch`; only this lint reports the malformed shapes, so
+/// they are diagnosed once per run.
+pub struct Annotations {
+    /// `(fn id, hot-path name)` per root annotation.
+    pub roots: Vec<(usize, String)>,
+    /// Fns marked `HOT-PATH-BOUNDARY:` with a reason.
+    pub boundaries: HashSet<usize>,
+    /// Malformed / orphaned annotation findings.
+    pub malformed: Vec<Diagnostic>,
+}
 
-    // Attach annotations to fn definitions (nearest comment in the
-    // window, the lock-registry idiom).
-    let mut roots: Vec<(usize, String)> = Vec::new();
-    let mut boundary: HashSet<usize> = HashSet::new();
+/// Attaches annotations to fn definitions (nearest comment in the
+/// window, the lock-registry idiom) and reports every malformed shape.
+pub fn collect_annotations(graph: &CallGraph<'_>) -> Annotations {
+    let mut out = Annotations {
+        roots: Vec::new(),
+        boundaries: HashSet::new(),
+        malformed: Vec::new(),
+    };
     let mut consumed: HashSet<(usize, u32)> = HashSet::new();
     for (fid, def) in graph.fns.iter().enumerate() {
         let file = graph.files[def.file];
@@ -154,7 +148,7 @@ pub fn check_files(
         consumed.insert((def.file, cline));
         if is_boundary {
             if payload.is_empty() {
-                diags.push(diag(
+                out.malformed.push(diag(
                     file,
                     cline,
                     "malformed: HOT-PATH-BOUNDARY gives no reason; write \
@@ -162,13 +156,13 @@ pub fn check_files(
                         .to_string(),
                 ));
             } else {
-                boundary.insert(fid);
+                out.boundaries.insert(fid);
             }
             continue;
         }
         let mut words = payload.split_whitespace();
         let Some(name) = words.next() else {
-            diags.push(diag(
+            out.malformed.push(diag(
                 file,
                 cline,
                 "malformed: HOT-PATH annotation names no path (grammar: HOT-PATH: <name>)"
@@ -177,7 +171,7 @@ pub fn check_files(
             continue;
         };
         if !valid_path_name(name) {
-            diags.push(diag(
+            out.malformed.push(diag(
                 file,
                 cline,
                 format!("malformed: hot-path name `{name}` has characters outside [A-Za-z0-9_.-]"),
@@ -185,14 +179,14 @@ pub fn check_files(
             continue;
         }
         if let Some(extra) = words.next() {
-            diags.push(diag(
+            out.malformed.push(diag(
                 file,
                 cline,
                 format!("malformed: unexpected token `{extra}` (grammar: HOT-PATH: <name>)"),
             ));
             continue;
         }
-        roots.push((fid, name.to_string()));
+        out.roots.push((fid, name.to_string()));
     }
 
     // An annotation no fn claimed is a typo waiting to silently disable
@@ -200,7 +194,7 @@ pub fn check_files(
     for (fi, file) in graph.files.iter().enumerate() {
         for (l, text) in &file.scanned.comments {
             if annotation_of(text).is_some() && !consumed.contains(&(fi, *l)) {
-                diags.push(diag(
+                out.malformed.push(diag(
                     file,
                     *l,
                     format!(
@@ -211,222 +205,80 @@ pub fn check_files(
             }
         }
     }
+    out
+}
 
-    // Per-file lock machinery, computed once.
-    let mut lock_info: HashMap<usize, (Vec<locks::Acquisition>, HashSet<String>)> = HashMap::new();
-    for (fi, file) in graph.files.iter().enumerate() {
-        let acqs = locks::collect_acquisitions(file);
-        let rw_fields: HashSet<String> = locks::collect_decls(file)
-            .into_iter()
-            .filter(|d| d.kind == LockKind::RwLock)
-            .map(|d| d.field)
-            .collect();
-        lock_info.insert(fi, (acqs, rw_fields));
-    }
+/// Core: build the effect graph, then query each root's reachable set
+/// for `ALLOC` / `LOCK` / `RAW_IO` findings.
+pub fn check_files(
+    files: &[&SourceFile],
+    allow: &Allowlist,
+    accounting: &Allowlist,
+) -> Vec<Diagnostic> {
+    let eg = EffectGraph::build(files);
+    let ann = collect_annotations(&eg.graph);
+    let mut diags = ann.malformed.clone();
 
-    let root_ids: HashSet<usize> = roots.iter().map(|(fid, _)| *fid).collect();
+    let want = EffectSet::of(&[Effect::Alloc, Effect::Lock, Effect::RawIo]);
+    let root_ids: HashSet<usize> = ann.roots.iter().map(|(fid, _)| *fid).collect();
     // Site-level dedup: a fn reachable from two roots reports each
     // violation once (under the first root in annotation order).
     let mut seen_sites: HashSet<(usize, u32, String)> = HashSet::new();
 
-    for (root_fid, root_name) in &roots {
-        let mut visited: HashSet<usize> = HashSet::new();
-        // (fn, call-chain from the root, inclusive of the fn itself when
-        // it is not the root).
-        let mut queue: Vec<(usize, Vec<String>)> = vec![(*root_fid, Vec::new())];
-        while let Some((fid, chain)) = queue.pop() {
-            if !visited.insert(fid) {
+    for (root_fid, root_name) in &ann.roots {
+        // Another root is its own traversal; don't re-walk it under this
+        // one's name.
+        let skip: HashSet<usize> = root_ids.iter().copied().filter(|f| f != root_fid).collect();
+        let tr = Traversal {
+            boundaries: ann.boundaries.clone(),
+            skip,
+            include_root_body: true,
+        };
+        for finding in effects::reach(&eg, *root_fid, want, &tr) {
+            let sink = &eg.graph.fns[finding.fid];
+            let sink_file = eg.graph.files[sink.file];
+            if allow.permits(&sink_file.rel, Some(&sink.name)) {
                 continue;
             }
-            let def = &graph.fns[fid];
-            if def.is_test {
+            // The accounting seam (pool/disk wrappers) is the one place
+            // raw I/O belongs; everything it permits, we permit.
+            if finding.effect == Effect::RawIo
+                && accounting.permits(&sink_file.rel, Some(&sink.name))
+            {
                 continue;
             }
-            check_body(
-                &graph,
-                fid,
-                root_name,
-                &chain,
-                allow,
-                accounting,
-                &lock_info,
-                &mut seen_sites,
-                &mut diags,
+            let key = (
+                sink.file,
+                finding.line,
+                format!("{:?}:{}", finding.effect, finding.what),
             );
-            if boundary.contains(&fid) {
+            if !seen_sites.insert(key) {
                 continue;
             }
-            for &ci in &graph.calls_by_fn[fid] {
-                let call = &graph.calls[ci];
-                if call.is_test {
-                    continue;
-                }
-                for &t in &call.targets {
-                    // Another root is its own traversal; don't re-walk it
-                    // under this one's name.
-                    if t != *root_fid && root_ids.contains(&t) {
-                        continue;
-                    }
-                    // Traverse only trustworthy edges. A method call on an
-                    // arbitrary receiver over-approximates to every
-                    // same-named workspace method, and common names
-                    // (`insert`, `wait`, `clear`) would drag the walk
-                    // across crates through std receivers. `self.` dispatch
-                    // is exact; same-crate method candidates are plausible;
-                    // cross-crate method hops are dropped — each layer
-                    // declares its own HOT-PATH roots over its kernels
-                    // (DESIGN.md §9).
-                    let trusted = match &call.kind {
-                        crate::callgraph::CallKind::Free
-                        | crate::callgraph::CallKind::Path { .. } => true,
-                        crate::callgraph::CallKind::Method { recv } => {
-                            recv.as_deref() == Some("self")
-                                || graph.files[graph.fns[t].file].crate_dir
-                                    == graph.files[call.file].crate_dir
-                        }
-                    };
-                    if !trusted {
-                        continue;
-                    }
-                    let mut next = chain.clone();
-                    next.push(graph.fns[t].name.clone());
-                    queue.push((t, next));
-                }
-            }
+            let w = effects::witness(&eg, *root_fid, &finding);
+            let msg = match finding.effect {
+                Effect::Alloc => format!(
+                    "alloc-in-hot-path: `{}` on hot path `{root_name}`: {w}; hoist the \
+                     buffer out of the kernel or justify in crates/xtask/allow/hotpath.allow",
+                    finding.what
+                ),
+                Effect::Lock => format!(
+                    "lock-in-hot-path: `{}` on hot path `{root_name}`: {w}; hot kernels \
+                     must run lock-free — move the acquisition outside or justify in \
+                     crates/xtask/allow/hotpath.allow",
+                    finding.what
+                ),
+                _ => format!(
+                    "io-in-hot-path: raw `{}` on hot path `{root_name}` bypasses the \
+                     accounting seam: {w}; go through the buffer pool or justify in \
+                     crates/xtask/allow/hotpath.allow",
+                    finding.what
+                ),
+            };
+            diags.push(diag(sink_file, finding.line, msg));
         }
     }
     diags
-}
-
-/// Scans one reachable fn's body for allocation / lock / raw-I/O tokens.
-#[allow(clippy::too_many_arguments)]
-fn check_body(
-    graph: &CallGraph<'_>,
-    fid: usize,
-    root_name: &str,
-    chain: &[String],
-    allow: &Allowlist,
-    accounting: &Allowlist,
-    lock_info: &HashMap<usize, (Vec<locks::Acquisition>, HashSet<String>)>,
-    seen_sites: &mut HashSet<(usize, u32, String)>,
-    diags: &mut Vec<Diagnostic>,
-) {
-    let def = &graph.fns[fid];
-    let Some((b0, b1)) = def.body else {
-        return; // trait declaration without a default body
-    };
-    let file = graph.files[def.file];
-    let toks = &file.scanned.toks;
-    // Token ranges of `fn`s nested *inside* this body are their own call
-    // targets; skip their tokens here so an uncalled nested fn cannot
-    // taint its host.
-    let nested: Vec<(usize, usize)> = graph
-        .fns
-        .iter()
-        .filter(|f| f.file == def.file)
-        .filter_map(|f| f.body)
-        .filter(|&(o, c)| o > b0 && c < b1)
-        .collect();
-    let in_nested = |i: usize| nested.iter().any(|&(o, c)| o <= i && i <= c);
-    let mut report = |line: u32, what: String, msg: String| {
-        if allow.permits(&file.rel, Some(&def.name)) {
-            return;
-        }
-        if seen_sites.insert((def.file, line, what)) {
-            diags.push(diag(file, line, msg));
-        }
-    };
-    let via = |chain: &[String]| {
-        if chain.is_empty() {
-            format!("in hot path `{root_name}`")
-        } else {
-            format!("in hot path `{root_name}` (via {})", chain.join(" → "))
-        }
-    };
-
-    for i in b0..=b1 {
-        if file.test_mask[i] || in_nested(i) {
-            continue;
-        }
-        let t = &toks[i];
-        if t.kind != crate::scan::TokKind::Ident {
-            continue;
-        }
-        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
-        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
-        let via_dot = i >= 1 && toks[i - 1].is_punct('.');
-        let via_path = i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
-        let alloc = if ALLOC_MACROS.contains(&t.text.as_str()) && next_bang {
-            Some(format!("{}!", t.text))
-        } else if ALLOC_METHODS.contains(&t.text.as_str()) && next_paren && via_dot {
-            Some(format!(".{}()", t.text))
-        } else if next_paren && via_path && i >= 3 {
-            ALLOC_PATHS
-                .iter()
-                .find(|(q, m)| t.is_ident(m) && toks[i - 3].is_ident(q))
-                .map(|(q, m)| format!("{q}::{m}"))
-        } else {
-            None
-        };
-        if let Some(what) = alloc {
-            report(
-                t.line,
-                format!("alloc:{what}"),
-                format!(
-                    "alloc-in-hot-path: `{what}` inside `{}` {}; hoist the buffer out of \
-                     the loop or justify in crates/xtask/allow/hotpath.allow",
-                    def.name,
-                    via(chain)
-                ),
-            );
-            continue;
-        }
-        if IO_CALLS.contains(&t.text.as_str()) && next_paren && (via_dot || via_path) {
-            // The accounting seam (pool/disk wrappers) is the one place
-            // raw I/O belongs; everything it permits, we permit.
-            if !accounting.permits(&file.rel, Some(&def.name)) {
-                report(
-                    t.line,
-                    format!("io:{}", t.text),
-                    format!(
-                        "io-in-hot-path: raw `{}` inside `{}` {} bypasses the accounting \
-                         seam; go through the buffer pool or justify in \
-                         crates/xtask/allow/hotpath.allow",
-                        t.text,
-                        def.name,
-                        via(chain)
-                    ),
-                );
-            }
-        }
-    }
-
-    let (acqs, rw_fields) = &lock_info[&def.file];
-    for acq in acqs {
-        if acq.idx < b0 || acq.idx > b1 || in_nested(acq.idx) {
-            continue;
-        }
-        // `.read()`/`.write()` only count against RwLocks declared in
-        // this file, mirroring guard-across-io's receiver heuristic.
-        if acq.method != AcqMethod::Lock
-            && !acq.receiver.as_ref().is_some_and(|r| rw_fields.contains(r))
-        {
-            continue;
-        }
-        let recv = acq.receiver.clone().unwrap_or_else(|| "<expr>".to_string());
-        report(
-            acq.line,
-            format!("lock:{}:{}", recv, acq.method.method_name()),
-            format!(
-                "lock-in-hot-path: `{recv}.{}()` inside `{}` {}; hot kernels must run \
-                 lock-free — move the acquisition outside or justify in \
-                 crates/xtask/allow/hotpath.allow",
-                acq.method.method_name(),
-                def.name,
-                via(chain)
-            ),
-        );
-    }
 }
 
 fn diag(file: &SourceFile, line: u32, msg: String) -> Diagnostic {

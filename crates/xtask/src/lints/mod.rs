@@ -4,10 +4,12 @@
 //! others, over the allowlists they consulted.
 
 pub mod accounting;
+pub mod blocking_worker;
 pub mod guard_across_io;
 pub mod hot_path;
 pub mod layering;
 pub mod lock_order;
+pub mod panic_reach;
 pub mod panic_surface;
 pub mod reachability;
 pub mod stale_allow;

@@ -1,0 +1,98 @@
+//! panic-reachability: a `pub` API entry point of the storage and
+//! service crates (`core`, `pagestore`, `service`) that can transitively
+//! reach a panic is reported with its witness chain.
+//!
+//! `panic-surface` polices panic *sites* in library code; this lint
+//! answers the caller-side question — *which public functions can blow
+//! up?* — by querying the [`crate::effects`] inference for `PANIC`
+//! (`.unwrap()` / `.expect(…)`, the `panic!` macro family, and `xs[…]`
+//! indexing) over trusted call edges. Every entry point whose inferred
+//! set carries `PANIC` is walked, and each reachable primitive is
+//! reported once (the first entry point in definition order claims it)
+//! with the shortest chain from the entry to the primitive.
+//!
+//! Justified sites live in `allow/panic_reach.allow`, keyed by the
+//! **sink** — the fn containing the primitive (`file.rs::fn`), or a whole
+//! file (`file.rs`) for kernel modules whose indexing is pervasive and
+//! debug-assert-guarded. One sink entry silences every entry point that
+//! reaches it, so the list stays proportional to the panic surface, not
+//! to the API surface.
+//!
+//! Entry points are `pub`-marked fns (`pub(crate)` included — the graph
+//! cannot tell them apart) outside private modules, test code and trait
+//! declarations.
+
+use std::collections::HashSet;
+
+use crate::effects::{self, Effect, EffectGraph, EffectSet, Traversal};
+use crate::workspace::{Allowlist, FileClass, SourceFile};
+use crate::{Diagnostic, Lint};
+
+/// The crates whose public API the workspace run gates.
+pub const GATED_CRATES: [&str; 3] = ["core", "pagestore", "service"];
+
+/// Runs the lint over the whole workspace (lib + bin code).
+pub fn run(ws: &crate::workspace::Workspace, allow: &Allowlist) -> Vec<Diagnostic> {
+    let files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.class != FileClass::Test)
+        .collect();
+    check_files(&files, allow, &GATED_CRATES)
+}
+
+/// Fixture entry point: one file as the pretend `experiments` crate.
+pub fn check_file(file: &SourceFile, allow: &Allowlist) -> Vec<Diagnostic> {
+    check_files(&[file], allow, &["experiments"])
+}
+
+/// Core: every pub entry point of `crates` whose inferred set carries
+/// `PANIC` is walked down to its primitives.
+pub fn check_files(files: &[&SourceFile], allow: &Allowlist, crates: &[&str]) -> Vec<Diagnostic> {
+    let eg = EffectGraph::build(files);
+    let want = EffectSet::of(&[Effect::Panic]);
+    let tr = Traversal {
+        include_root_body: true,
+        ..Traversal::default()
+    };
+    let mut diags = Vec::new();
+    // One report per primitive site, claimed by the first entry point
+    // that reaches it — otherwise a new `unwrap` in a shared helper
+    // would repeat once per public caller.
+    let mut seen_sites: HashSet<(usize, u32, String)> = HashSet::new();
+    for (fid, def) in eg.graph.fns.iter().enumerate() {
+        if !def.is_pub || def.is_test || def.in_private_mod || def.is_trait_decl {
+            continue;
+        }
+        let crate_dir = eg.graph.files[def.file].crate_dir.as_deref();
+        if !crate_dir.is_some_and(|c| crates.contains(&c)) {
+            continue;
+        }
+        if !eg.inferred[fid].contains(Effect::Panic) {
+            continue;
+        }
+        for finding in effects::reach(&eg, fid, want, &tr) {
+            let sink = &eg.graph.fns[finding.fid];
+            let sink_file = eg.graph.files[sink.file];
+            if allow.permits(&sink_file.rel, Some(&sink.name)) {
+                continue;
+            }
+            let key = (sink.file, finding.line, finding.what.clone());
+            if !seen_sites.insert(key) {
+                continue;
+            }
+            let w = effects::witness(&eg, fid, &finding);
+            diags.push(Diagnostic {
+                file: sink_file.rel.clone(),
+                line: finding.line,
+                lint: Lint::PanicReach,
+                msg: format!(
+                    "reachable-panic: pub fn `{}` can reach `{}`: {w}; make the path \
+                     infallible or justify the sink in crates/xtask/allow/panic_reach.allow",
+                    def.name, finding.what
+                ),
+            });
+        }
+    }
+    diags
+}

@@ -10,13 +10,9 @@
 //! already panicked) are listed with reasons in
 //! `crates/xtask/allow/panics.allow`.
 
+use crate::effects::{PANIC_MACROS as MACROS, PANIC_METHODS as METHODS};
 use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
 use crate::{Diagnostic, Lint};
-
-/// Method-style panickers (`x.unwrap()`, `x.expect("…")`).
-const METHODS: [&str; 2] = ["unwrap", "expect"];
-/// Macro-style panickers (`panic!`, …).
-const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// Runs the lint over library sources.
 pub fn run(ws: &Workspace, allow: &Allowlist) -> Vec<Diagnostic> {

@@ -1,4 +1,4 @@
-//! `cargo xtask` — project task runner. Currently one task: `analyze`.
+//! `cargo xtask` — project task runner: `analyze` and `effects`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -11,10 +11,15 @@ Commands:
   analyze [--root <path>] [--format text|json]
                             run the project lints over the workspace
   analyze --self-test       verify the lints against the fixture corpus
+  effects [--root <path>]   print the public-API effect matrix as JSON
+  effects --check           diff the matrix against the committed
+                            baseline (crates/xtask/effects.baseline.json);
+                            any drift fails with witness chains
+  effects --update          rewrite the baseline from the current matrix
 
 Lints: accounting, unsafe-audit, panic-surface, layering, lock-order,
-guard-across-io, hot-path-hygiene, swallowed-result, reachability,
-stale-allow.
+guard-across-io, hot-path-hygiene, panic-reachability,
+blocking-in-worker, swallowed-result, reachability, stale-allow.
 See DESIGN.md \"Static analysis & invariants\" for what each enforces.";
 
 /// Output format for analyze findings.
@@ -39,6 +44,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("analyze") => {}
+        Some("effects") => return run_effects(it.as_slice()),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
             return Ok(ExitCode::SUCCESS);
@@ -115,8 +121,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if diags.is_empty() {
         println!(
             "xtask analyze: workspace clean (accounting, unsafe-audit, panic-surface, \
-             layering, lock-order, guard-across-io, hot-path-hygiene, swallowed-result, \
-             reachability, stale-allow)"
+             layering, lock-order, guard-across-io, hot-path-hygiene, panic-reachability, \
+             blocking-in-worker, swallowed-result, reachability, stale-allow)"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -125,6 +131,95 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     eprintln!("xtask analyze: {} violation(s)", diags.len());
     Ok(ExitCode::FAILURE)
+}
+
+/// What `cargo xtask effects` should do with the matrix.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EffectsMode {
+    Print,
+    Check,
+    Update,
+}
+
+/// The `effects` subcommand: build the effect matrix and print, check or
+/// update the committed baseline.
+fn run_effects(args: &[String]) -> Result<ExitCode, String> {
+    use xtask::effects::{self, BASELINE_REL};
+    use xtask::workspace::{FileClass, SourceFile, Workspace};
+
+    let mut root: Option<PathBuf> = None;
+    let mut mode = EffectsMode::Print;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let p = it.next().ok_or_else(|| "--root needs a path".to_string())?;
+                root = Some(PathBuf::from(p));
+            }
+            "--check" => mode = EffectsMode::Check,
+            "--update" => mode = EffectsMode::Update,
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => default_root()?,
+    };
+
+    let ws = Workspace::load(&root)?;
+    let files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.class != FileClass::Test)
+        .collect();
+    let eg = effects::EffectGraph::build(&files);
+    let ann = xtask::lints::hot_path::collect_annotations(&eg.graph);
+    let roots: Vec<usize> = ann.roots.iter().map(|(fid, _)| *fid).collect();
+    let m = effects::matrix(&eg, &xtask::lints::panic_reach::GATED_CRATES, &roots);
+    let json = m.to_json();
+
+    match mode {
+        EffectsMode::Print => {
+            print!("{json}");
+            Ok(ExitCode::SUCCESS)
+        }
+        EffectsMode::Update => {
+            let path = root.join(BASELINE_REL);
+            std::fs::write(&path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "xtask effects --update: wrote {} function(s) to {BASELINE_REL}",
+                m.rows.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        EffectsMode::Check => {
+            let path = root.join(BASELINE_REL);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "cannot read {}: {e} — bootstrap the baseline with \
+                     `cargo xtask effects --update`",
+                    path.display()
+                )
+            })?;
+            let diags = effects::check_baseline(&eg, &m, &text)?;
+            if diags.is_empty() {
+                println!(
+                    "xtask effects --check: {} function(s) match {BASELINE_REL}",
+                    m.rows.len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!(
+                "xtask effects --check: {} drift(s) from {BASELINE_REL}",
+                diags.len()
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
 /// The workspace root: two levels above this crate's manifest, independent

@@ -190,6 +190,44 @@ pub fn self_test(root: &Path) -> Result<SelfTestReport, String> {
     )?;
     lap("hot-path-hygiene", &mut timings, &mut timer);
 
+    // panic-reachability: the cycle fixture pins the SCC fixed point —
+    // sinks inside (and past) a mutually-recursive component reach the
+    // pub entries, reported once each with the first entry's witness.
+    check_file_fixture(
+        &fixtures.join("effects/cycle.rs"),
+        |f| lints::panic_reach::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    lap("panic-reachability", &mut timings, &mut timer);
+
+    // blocking-in-worker, run together with panic-reachability over the
+    // shared fixtures: the fail fixture's dispatch root blocks
+    // transitively (root body and beyond-boundary blocks exempt), the
+    // pass fixture pins the str-join non-flag and an allowlisted sink.
+    let allow_sinks = Allowlist::parse(
+        "# self-test: the fixture's justified panic sink\n\
+         crates/experiments/src/fixture.rs::checked_math\n",
+    );
+    check_file_fixture(
+        &fixtures.join("effects/fail.rs"),
+        |f| {
+            let mut d = lints::panic_reach::check_file(f, &Allowlist::default());
+            d.extend(lints::blocking_worker::check_file(f, &Allowlist::default()));
+            d
+        },
+        &mut failures,
+    )?;
+    check_file_fixture(
+        &fixtures.join("effects/pass.rs"),
+        |f| {
+            let mut d = lints::panic_reach::check_file(f, &allow_sinks);
+            d.extend(lints::blocking_worker::check_file(f, &Allowlist::default()));
+            d
+        },
+        &mut failures,
+    )?;
+    lap("blocking-in-worker", &mut timings, &mut timer);
+
     // swallowed-result: both discard shapes trip; propagation, handling,
     // unit-returning calls and an allowlisted site stay quiet.
     check_file_fixture(
