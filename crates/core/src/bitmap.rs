@@ -1,5 +1,7 @@
 //! A fixed-width bit vector used for signatures and slice combination.
 
+use crate::kernel;
+
 /// A fixed-width bit vector backed by 64-bit words.
 ///
 /// `Bitmap` is the in-memory representation of signatures ([`Signature`]
@@ -44,17 +46,12 @@ impl Bitmap {
     }
 
     fn words_for(nbits: u32) -> usize {
-        (nbits as usize).div_ceil(64)
+        kernel::words_for(nbits)
     }
 
     /// Clears any bits beyond `nbits` in the last word.
     fn mask_tail(&mut self) {
-        let rem = self.nbits % 64;
-        if rem != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << rem) - 1;
-            }
-        }
+        kernel::mask_tail(&mut self.words, self.nbits);
     }
 
     /// Width in bits.
@@ -205,10 +202,7 @@ impl Bitmap {
             "need {nbytes} bytes for {nbits} bits"
         );
         let mut bm = Bitmap::zeroed(nbits);
-        for (wi, w) in bm.words.iter_mut().enumerate() {
-            *w = le_word(&bytes[..nbytes], wi);
-        }
-        bm.mask_tail();
+        kernel::fill(&mut bm.words, &bytes[..nbytes], nbits);
         bm
     }
 
@@ -233,10 +227,15 @@ impl Bitmap {
     /// `Bitmap` is materialized for the incoming slice.
     pub fn and_assign_bytes(&mut self, bytes: &[u8]) {
         let nbytes = self.assert_byte_width(bytes);
-        for (wi, w) in self.words.iter_mut().enumerate() {
-            *w &= le_word(&bytes[..nbytes], wi);
-        }
-        // Tail garbage in `bytes` can only clear bits, never leak new ones.
+        kernel::and_assign(&mut self.words, &bytes[..nbytes]);
+    }
+
+    /// Like [`and_assign_bytes`](Bitmap::and_assign_bytes) but also reports
+    /// whether any bit survived — the fused liveness check the BSSF AND loop
+    /// uses to early-exit without a second pass over the words.
+    pub fn and_assign_bytes_alive(&mut self, bytes: &[u8]) -> bool {
+        let nbytes = self.assert_byte_width(bytes);
+        kernel::and_assign(&mut self.words, &bytes[..nbytes]) != 0
     }
 
     /// `self |= bytes` — the OR counterpart of
@@ -244,10 +243,7 @@ impl Bitmap {
     /// slice scan.
     pub fn or_assign_bytes(&mut self, bytes: &[u8]) {
         let nbytes = self.assert_byte_width(bytes);
-        for (wi, w) in self.words.iter_mut().enumerate() {
-            *w |= le_word(&bytes[..nbytes], wi);
-        }
-        self.mask_tail();
+        kernel::or_assign(&mut self.words, &bytes[..nbytes], self.nbits);
     }
 
     /// True if every set bit of `self` is also set in the serialized bitmap
@@ -255,10 +251,7 @@ impl Bitmap {
     /// signature and `bytes` a stored row, evaluated word-at-a-time.
     pub fn is_covered_by_bytes(&self, bytes: &[u8]) -> bool {
         let nbytes = self.assert_byte_width(bytes);
-        self.words
-            .iter()
-            .enumerate()
-            .all(|(wi, &w)| w & !le_word(&bytes[..nbytes], wi) == 0)
+        kernel::is_covered_by(&self.words, &bytes[..nbytes])
     }
 
     /// True if every set bit of the serialized bitmap `bytes` is also set in
@@ -266,42 +259,21 @@ impl Bitmap {
     /// signature.
     pub fn covers_bytes(&self, bytes: &[u8]) -> bool {
         let nbytes = self.assert_byte_width(bytes);
-        self.words
-            .iter()
-            .enumerate()
-            .all(|(wi, &w)| self.masked(wi, le_word(&bytes[..nbytes], wi)) & !w == 0)
+        kernel::covers(&self.words, &bytes[..nbytes], self.nbits)
     }
 
     /// True if the serialized bitmap `bytes` equals `self` bit-for-bit
     /// (padding bits beyond the width ignored).
     pub fn eq_bytes(&self, bytes: &[u8]) -> bool {
         let nbytes = self.assert_byte_width(bytes);
-        self.words
-            .iter()
-            .enumerate()
-            .all(|(wi, &w)| self.masked(wi, le_word(&bytes[..nbytes], wi)) == w)
+        kernel::eq(&self.words, &bytes[..nbytes], self.nbits)
     }
 
     /// Popcount of the intersection with the serialized bitmap `bytes` —
     /// the overlap row-match kernel.
     pub fn intersection_count_bytes(&self, bytes: &[u8]) -> u32 {
         let nbytes = self.assert_byte_width(bytes);
-        self.words
-            .iter()
-            .enumerate()
-            .map(|(wi, &w)| (w & le_word(&bytes[..nbytes], wi)).count_ones())
-            .sum()
-    }
-
-    /// Applies the width's tail mask to an externally sourced word `wi`.
-    #[inline]
-    fn masked(&self, wi: usize, w: u64) -> u64 {
-        let rem = self.nbits % 64;
-        if rem != 0 && wi + 1 == self.words.len() {
-            w & ((1u64 << rem) - 1)
-        } else {
-            w
-        }
+        kernel::intersection_count(&self.words, &bytes[..nbytes])
     }
 }
 
@@ -310,38 +282,7 @@ impl Bitmap {
 /// overlap scan's per-slice counting kernel. Padding bits beyond `nbits`
 /// in the final byte are ignored.
 pub fn iter_ones_bytes(nbits: u32, bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
-    let nbytes = (nbits as usize).div_ceil(8);
-    let bytes = &bytes[..nbytes.min(bytes.len())];
-    let nwords = (nbits as usize).div_ceil(64);
-    (0..nwords).flat_map(move |wi| {
-        let mut w = le_word(bytes, wi);
-        std::iter::from_fn(move || {
-            while w != 0 {
-                let bit = w.trailing_zeros();
-                w &= w - 1;
-                let pos = wi as u32 * 64 + bit;
-                if pos < nbits {
-                    return Some(pos);
-                }
-            }
-            None
-        })
-    })
-}
-
-/// Word `wi` of an LSB-first byte buffer, zero-padded past the end.
-#[inline]
-fn le_word(bytes: &[u8], wi: usize) -> u64 {
-    let start = wi * 8;
-    if start + 8 <= bytes.len() {
-        u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
-    } else if start < bytes.len() {
-        let mut buf = [0u8; 8];
-        buf[..bytes.len() - start].copy_from_slice(&bytes[start..]);
-        u64::from_le_bytes(buf)
-    } else {
-        0
-    }
+    kernel::iter_ones(nbits, bytes)
 }
 
 impl std::fmt::Debug for Bitmap {

@@ -26,8 +26,9 @@ use setsig_pagestore::{BufferPool, Page, PageIo, PagedFile, PAGE_SIZE};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::bitmap::{iter_ones_bytes, Bitmap};
+use crate::bitmap::Bitmap;
 use crate::config::SignatureConfig;
+use crate::kernel;
 use crate::element::ElementKey;
 use crate::error::{Error, Result};
 use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
@@ -85,7 +86,22 @@ impl Bssf {
         cfg: SignatureConfig,
         pool_pages: usize,
     ) -> Result<Self> {
-        let pool = Arc::new(BufferPool::new(disk, pool_pages));
+        Self::create_tiered(disk, name, cfg, pool_pages, 0)
+    }
+
+    /// Like [`Bssf::create_cached`], with a pinned in-RAM tier of up to
+    /// `pinned_pages` pages above the LRU pool (see
+    /// [`BufferPool::with_pinned`]); `0` disables the tier. Hot slice
+    /// pages — re-read by every query that touches their bit position —
+    /// are admitted on their second access and never evicted after.
+    pub fn create_tiered(
+        disk: Arc<setsig_pagestore::Disk>,
+        name: &str,
+        cfg: SignatureConfig,
+        pool_pages: usize,
+        pinned_pages: usize,
+    ) -> Result<Self> {
+        let pool = Arc::new(BufferPool::with_pinned(disk, pool_pages, pinned_pages));
         let io: Arc<dyn PageIo> = Arc::clone(&pool) as Arc<dyn PageIo>;
         let mut bssf = Self::create(io, name, cfg)?;
         bssf.pool = Some(pool);
@@ -249,8 +265,11 @@ impl Bssf {
         let slice = &self.slices[j as usize];
         let have = slice.len()?;
         let nbytes = (n as usize).div_ceil(8);
+        // The buffer is reused across slices of different materialized
+        // lengths: clear it and append page bytes in order, then resize to
+        // the packed length so the sparse tail is zero-filled and a shorter
+        // read can never expose stale bytes from a longer predecessor.
         buf.clear();
-        buf.resize(nbytes, 0);
         let npages = (n.div_ceil(ROWS_PER_PAGE) as u32).min(have);
         for p in 0..npages {
             // A slice page holds PAGE_SIZE·8 rows, so page p's bits start
@@ -258,9 +277,11 @@ impl Bssf {
             let start = p as usize * PAGE_SIZE;
             let take = (nbytes - start).min(PAGE_SIZE);
             slice.read(p).map(|page| {
-                buf[start..start + take].copy_from_slice(&page.as_bytes()[..take]);
+                buf.extend_from_slice(&page.as_bytes()[..take]);
             })?;
         }
+        debug_assert!(buf.len() <= nbytes);
+        buf.resize(nbytes, 0);
         Ok(npages as u64)
     }
 
@@ -304,15 +325,18 @@ impl Bssf {
         ctr.charge_both(np);
         ctr.note_slices(1);
         let mut acc = Bitmap::from_bytes(n as u32, &bytes);
+        // The AND kernel reports liveness as it combines, so each following
+        // iteration needs no separate emptiness pass over the words.
+        let mut alive = !acc.is_zero();
         for &j in &ones[1..] {
-            if acc.is_zero() {
+            if !alive {
                 ctr.mark_early_exit();
                 break;
             }
             let np = self.read_slice_into(j, &mut bytes)?;
             ctr.charge_both(np);
             ctr.note_slices(1);
-            acc.and_assign_bytes(&bytes);
+            alive = acc.and_assign_bytes_alive(&bytes);
         }
         Ok(acc.iter_ones().map(u64::from).collect())
     }
@@ -423,10 +447,7 @@ impl Bssf {
                         acc = Some(first);
                         z
                     }
-                    Some(a) => {
-                        a.and_assign_bytes(&bytes);
-                        a.is_zero()
-                    }
+                    Some(a) => !a.and_assign_bytes_alive(&bytes),
                 };
                 let mut g = shared.lock().unwrap();
                 g.committed = k + 1;
@@ -535,14 +556,18 @@ impl Bssf {
         let n = self.oid_file.len() as usize;
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
         ctr.note_slices(ones.len() as u64);
+        // Counts are u32, not u16: a row can match up to m_q ≤ F slices and
+        // F is a u32, so u16 counts wrapped (and `m_weight() as u16`
+        // truncated the threshold) for high-weight signatures — see
+        // `overlap_filter_survives_u16_boundary`.
         let counts = if self.threads > 1 && ones.len() > 1 {
             let threads = self.threads.min(ones.len());
             let next = AtomicUsize::new(0);
-            std::thread::scope(|s| -> Result<Vec<u16>> {
+            std::thread::scope(|s| -> Result<Vec<u32>> {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
-                        s.spawn(|| -> Result<(Vec<u16>, u64)> {
-                            let mut local = vec![0u16; n];
+                        s.spawn(|| -> Result<(Vec<u32>, u64)> {
+                            let mut local = vec![0u32; n];
                             let mut bytes = Vec::new();
                             let mut pages = 0u64;
                             loop {
@@ -553,15 +578,13 @@ impl Bssf {
                                     break;
                                 }
                                 pages += self.read_slice_into(ones[i], &mut bytes)?;
-                                for p in iter_ones_bytes(n as u32, &bytes) {
-                                    local[p as usize] += 1;
-                                }
+                                kernel::accumulate_ones(&mut local, &bytes);
                             }
                             Ok((local, pages))
                         })
                     })
                     .collect();
-                let mut counts = vec![0u16; n];
+                let mut counts = vec![0u32; n];
                 for h in handles {
                     let (local, pages) = h.join().expect("slice worker panicked")?;
                     ctr.charge_both(pages);
@@ -572,24 +595,28 @@ impl Bssf {
                 Ok(counts)
             })?
         } else {
-            let mut counts = vec![0u16; n];
+            let mut counts = vec![0u32; n];
             let mut bytes = Vec::new();
             for &j in &ones {
                 let np = self.read_slice_into(j, &mut bytes)?;
                 ctr.charge_both(np);
-                for p in iter_ones_bytes(n as u32, &bytes) {
-                    counts[p as usize] += 1;
-                }
+                kernel::accumulate_ones(&mut counts, &bytes);
             }
             counts
         };
-        let m = self.cfg.m_weight() as u16;
-        Ok(counts
+        Ok(Self::overlap_filter(&counts, self.cfg.m_weight()))
+    }
+
+    /// Rows whose overlap count reaches the threshold `m`, ascending. The
+    /// threshold stays `u32` end-to-end — the old `m as u16` truncation made
+    /// a threshold of e.g. 70,000 admit rows with only 4,464 overlaps.
+    fn overlap_filter(counts: &[u32], m: u32) -> Vec<u64> {
+        counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c >= m)
             .map(|(p, _)| p as u64)
-            .collect())
+            .collect()
     }
 
     fn positions_for(
@@ -1037,6 +1064,55 @@ mod tests {
         }
         // 64 slices × 1 page + 1 OID page.
         assert_eq!(b.storage_pages().unwrap(), 65);
+    }
+
+    #[test]
+    fn overlap_filter_survives_u16_boundary() {
+        // Regression for the overlap-count truncation: the old code cast
+        // the threshold with `m_weight() as u16` and kept counts in u16, so
+        // m = 70,000 truncated to 4,464 and a count of 70,000 wrapped to
+        // 4,464 — admitting row 1 below. The u32 path must admit row 0 only.
+        let counts = [70_000u32, 4_464, 65_536];
+        assert_eq!(Bssf::overlap_filter(&counts, 70_000), vec![0]);
+        // Exactly at the old wrap point: 65,536 ≡ 0 (mod 2^16) used to
+        // compare below any nonzero threshold.
+        assert_eq!(Bssf::overlap_filter(&counts, 65_536), vec![0, 2]);
+        assert_eq!(Bssf::overlap_filter(&counts, u32::MAX), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn read_slice_into_reuse_leaves_no_stale_tail() {
+        // Sparse inserts materialize only the 1-slices, so slice files in
+        // one BSSF have different lengths. Reading a short (or empty) slice
+        // into a buffer that previously held a fully materialized one must
+        // yield exactly the packed length with a zero tail — never stale
+        // bytes from the longer predecessor.
+        let (_d, mut b) = bssf(64, 2);
+        for i in 0..100u64 {
+            let sig = Signature::for_set(b.config(), &[ElementKey::from(i)]);
+            b.insert_signature_sparse(Oid::new(i), &sig).unwrap();
+        }
+        let nbytes = 100usize.div_ceil(8);
+        let long = (0..64)
+            .find(|&j| b.slices[j as usize].len().unwrap() > 0)
+            .expect("some slice is materialized");
+        let empty = (0..64)
+            .find(|&j| b.slices[j as usize].len().unwrap() == 0)
+            .expect("some slice is empty");
+        let mut buf = Vec::new();
+        // Alternate long → empty → long; each read must stand alone.
+        let np = b.read_slice_into(long, &mut buf).unwrap();
+        assert_eq!((np, buf.len()), (1, nbytes));
+        let populated = buf.clone();
+        assert!(populated.iter().any(|&x| x != 0));
+        let np = b.read_slice_into(empty, &mut buf).unwrap();
+        assert_eq!((np, buf.len()), (0, nbytes));
+        assert!(
+            buf.iter().all(|&x| x == 0),
+            "empty slice read must not expose stale bytes"
+        );
+        b.read_slice_into(long, &mut buf).unwrap();
+        assert_eq!(buf, populated);
     }
 }
 

@@ -1,0 +1,529 @@
+//! Word-level slice kernels: the one place bytes become `u64` words.
+//!
+//! Every signature-scan hot path — the BSSF slice AND/OR loops, the SSF
+//! row scan, the overlap counters, and [`Bitmap`](crate::Bitmap)'s
+//! byte-bridge methods — combines serialized (LSB-first) signature bytes
+//! with in-memory `u64` words. This module is the single implementation of
+//! that bridge, so the layout and tail-masking rules live in exactly one
+//! place:
+//!
+//! * **Word layout.** Word `wi` of a byte buffer covers bytes
+//!   `8·wi .. 8·wi + 8`, little-endian, zero-padded past the end of the
+//!   buffer ([`le_word`]). This matches `u64::from_le_bytes`, so bit `i`
+//!   of the bitmap is bit `i % 64` of word `i / 64` — the same layout
+//!   [`Bitmap`](crate::Bitmap) stores internally.
+//! * **Tail-mask contract.** A width of `nbits` occupies
+//!   [`words_for`]`(nbits)` words; bits at positions `>= nbits` in the
+//!   last word are *padding*. Kernels that read external bytes mask the
+//!   padding with [`tail_mask`] before it can influence a result, and
+//!   kernels that write an accumulator leave it *canonical* (padding bits
+//!   zero) so `count_ones`/`is_zero`-style folds need no re-masking.
+//!   `AND` is the one exception that needs no mask: padding in the
+//!   incoming bytes can only clear accumulator bits that are already
+//!   zero in a canonical accumulator.
+//!
+//! The loops run on `chunks_exact(8)` so the compiler sees fixed-size,
+//! branch-free bodies it can autovectorize; only the final partial word
+//! takes the padded [`le_word`] path. The `reference` submodule keeps the
+//! pre-kernel byte/bit-granular loops as the differential-testing oracle
+//! and the benchmark baseline.
+
+/// Words needed to hold `nbits` bits: `⌈nbits/64⌉`.
+#[inline]
+pub fn words_for(nbits: u32) -> usize {
+    (nbits as usize).div_ceil(64)
+}
+
+/// The valid-bit mask for the **last** word of a width-`nbits` bitmap:
+/// all ones when the width fills the word, otherwise ones at positions
+/// `0 .. nbits % 64`.
+#[inline]
+pub fn tail_mask(nbits: u32) -> u64 {
+    match nbits % 64 {
+        0 => !0u64,
+        rem => (1u64 << rem) - 1,
+    }
+}
+
+/// Clears the padding bits (positions `>= nbits`) of a canonical word
+/// buffer's last word. A no-op when `nbits` is a multiple of 64.
+#[inline]
+pub fn mask_tail(words: &mut [u64], nbits: u32) {
+    if let Some(last) = words.last_mut() {
+        *last &= tail_mask(nbits);
+    }
+}
+
+/// Word `wi` of an LSB-first byte buffer, zero-padded past the end.
+///
+/// This is the *tail* path: the chunked loops below use it only for the
+/// final partial word (and out-of-range words, which read as zero).
+#[inline]
+pub fn le_word(bytes: &[u8], wi: usize) -> u64 {
+    let start = wi * 8;
+    if start + 8 <= bytes.len() {
+        u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+    } else if start < bytes.len() {
+        let mut buf = [0u8; 8];
+        buf[..bytes.len() - start].copy_from_slice(&bytes[start..]);
+        u64::from_le_bytes(buf)
+    } else {
+        0
+    }
+}
+
+/// Splits `bytes` into its full 8-byte words and the partial tail word
+/// (zero-padded). The iterator body is branch-free so the combine loops
+/// autovectorize.
+#[inline]
+fn full_words(bytes: &[u8]) -> (impl Iterator<Item = u64> + '_, Option<u64>) {
+    let chunks = bytes.chunks_exact(8);
+    let tail = chunks.remainder();
+    let tail_word = if tail.is_empty() {
+        None
+    } else {
+        let mut buf = [0u8; 8];
+        buf[..tail.len()].copy_from_slice(tail);
+        Some(u64::from_le_bytes(buf))
+    };
+    let words = chunks.map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    (words, tail_word)
+}
+
+/// `acc &= bytes`, word at a time, returning the OR-fold of the result —
+/// zero exactly when the accumulator emptied. The fused fold is what lets
+/// the BSSF AND loop early-exit without a second pass over the words.
+///
+/// Bytes past the end of `bytes` read as zero, so accumulator words with
+/// no corresponding bytes are cleared. No tail mask is needed: padding in
+/// `bytes` can only clear padding bits, and a canonical accumulator has
+/// none set.
+// HOT-PATH: kernel.and
+pub fn and_assign(acc: &mut [u64], bytes: &[u8]) -> u64 {
+    let (words, tail) = full_words(bytes);
+    let mut alive = 0u64;
+    let mut covered = 0usize;
+    for (a, w) in acc.iter_mut().zip(words) {
+        *a &= w;
+        alive |= *a;
+        covered += 1;
+    }
+    if let (Some(a), Some(w)) = (acc.get_mut(covered), tail) {
+        *a &= w;
+        alive |= *a;
+        covered += 1;
+    }
+    for a in acc.iter_mut().skip(covered) {
+        *a = 0;
+    }
+    alive
+}
+
+/// `acc |= bytes`, word at a time, with the tail mask applied so padding
+/// bits in the final byte never leak into the accumulator (`nbits` is the
+/// accumulator's width; `acc.len()` must be [`words_for`]`(nbits)`).
+// HOT-PATH: kernel.or
+pub fn or_assign(acc: &mut [u64], bytes: &[u8], nbits: u32) {
+    let (words, tail) = full_words(bytes);
+    let mut covered = 0usize;
+    for (a, w) in acc.iter_mut().zip(words) {
+        *a |= w;
+        covered += 1;
+    }
+    if let (Some(a), Some(w)) = (acc.get_mut(covered), tail) {
+        *a |= w;
+    }
+    mask_tail(acc, nbits);
+}
+
+/// Fills `acc` from `bytes` (the deserialization kernel behind
+/// [`Bitmap::from_bytes`](crate::Bitmap::from_bytes)), masking the tail so
+/// the result is canonical.
+pub fn fill(acc: &mut [u64], bytes: &[u8], nbits: u32) {
+    let (words, tail) = full_words(bytes);
+    let mut covered = 0usize;
+    for (a, w) in acc.iter_mut().zip(words) {
+        *a = w;
+        covered += 1;
+    }
+    if let (Some(a), Some(w)) = (acc.get_mut(covered), tail) {
+        *a = w;
+        covered += 1;
+    }
+    for a in acc.iter_mut().skip(covered) {
+        *a = 0;
+    }
+    mask_tail(acc, nbits);
+}
+
+/// True when every set bit of the canonical `query` words is also set in
+/// the serialized `row` — the `T ⊇ Q` row-match rule (`query & !row == 0`
+/// per word). Query words beyond the row bytes compare against zero.
+// HOT-PATH: kernel.is_covered_by
+pub fn is_covered_by(query: &[u64], row: &[u8]) -> bool {
+    let (words, tail) = full_words(row);
+    let mut q = query.iter();
+    for w in words {
+        match q.next() {
+            Some(&qw) => {
+                if qw & !w != 0 {
+                    return false;
+                }
+            }
+            None => return true,
+        }
+    }
+    if let Some(w) = tail {
+        match q.next() {
+            Some(&qw) => {
+                if qw & !w != 0 {
+                    return false;
+                }
+            }
+            None => return true,
+        }
+    }
+    // Any remaining query words face all-zero row bytes.
+    q.all(|&qw| qw == 0)
+}
+
+/// True when every set bit of the serialized `row` (padding masked) is
+/// also set in the canonical `query` words — the `T ⊆ Q` row-match rule
+/// (`row & !query == 0` per word, after tail masking the row).
+// HOT-PATH: kernel.covers
+pub fn covers(query: &[u64], row: &[u8], nbits: u32) -> bool {
+    masked_words(row, nbits)
+        .enumerate()
+        .all(|(wi, w)| w & !query.get(wi).copied().unwrap_or(0) == 0)
+}
+
+/// True when the serialized `row` equals the canonical `query` words
+/// bit-for-bit over the width (`nbits`), padding ignored.
+// HOT-PATH: kernel.eq
+pub fn eq(query: &[u64], row: &[u8], nbits: u32) -> bool {
+    masked_words(row, nbits)
+        .enumerate()
+        .all(|(wi, w)| w == query.get(wi).copied().unwrap_or(0))
+}
+
+/// Popcount of `query & row` — the overlap row-match kernel. The query
+/// words are canonical, so row padding ANDs against zero and needs no
+/// mask.
+// HOT-PATH: kernel.popcount_and
+pub fn intersection_count(query: &[u64], row: &[u8]) -> u32 {
+    let (words, tail) = full_words(row);
+    let mut q = query.iter();
+    let mut n = 0u32;
+    for w in words {
+        match q.next() {
+            Some(&qw) => n += (qw & w).count_ones(),
+            None => return n,
+        }
+    }
+    if let (Some(w), Some(&qw)) = (tail, q.next()) {
+        n += (qw & w).count_ones();
+    }
+    n
+}
+
+/// The first [`words_for`]`(nbits)` words of `row`, with the tail mask
+/// applied to the last — the canonicalizing read used by the match
+/// kernels whose result set bits in `row` could otherwise influence.
+#[inline]
+fn masked_words(row: &[u8], nbits: u32) -> impl Iterator<Item = u64> + '_ {
+    let nwords = words_for(nbits);
+    (0..nwords).map(move |wi| {
+        let w = le_word(row, wi);
+        if wi + 1 == nwords {
+            w & tail_mask(nbits)
+        } else {
+            w
+        }
+    })
+}
+
+/// Iterates the set-bit positions of an LSB-first serialized bitmap of
+/// width `nbits`, ascending, word at a time. The last word is tail-masked
+/// up front, so the per-bit loop needs no range check.
+// HOT-PATH: kernel.iter_ones
+pub fn iter_ones(nbits: u32, bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    let nbytes = (nbits as usize).div_ceil(8);
+    let bytes = &bytes[..nbytes.min(bytes.len())];
+    let nwords = words_for(nbits);
+    (0..nwords).flat_map(move |wi| {
+        let mut w = le_word(bytes, wi);
+        if wi + 1 == nwords {
+            w &= tail_mask(nbits);
+        }
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(wi as u32 * 64 + bit)
+            }
+        })
+    })
+}
+
+/// `counts[p] += 1` for every set bit `p` of the serialized bitmap, word
+/// at a time — the overlap scan's per-slice counting kernel. Counts are
+/// `u32`: per-row overlap counts are bounded by the slice count `F`
+/// (itself a `u32`), so unlike a `u16` they can never wrap for any legal
+/// signature geometry.
+// HOT-PATH: kernel.count_ones
+pub fn accumulate_ones(counts: &mut [u32], bytes: &[u8]) {
+    let nbits = counts.len() as u32;
+    let nwords = words_for(nbits);
+    for wi in 0..nwords {
+        let mut w = le_word(bytes, wi);
+        if wi + 1 == nwords {
+            w &= tail_mask(nbits);
+        }
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            if let Some(c) = counts.get_mut(wi * 64 + bit) {
+                *c += 1;
+            }
+        }
+    }
+}
+
+/// The pre-kernel byte/bit-granular loops, kept verbatim in spirit as the
+/// differential-testing oracle and the benchmark baseline. Each function
+/// mirrors one word kernel above and must stay bit-identical to it.
+pub mod reference {
+    /// Byte-loop `acc &= bytes` over serialized buffers; `acc` bytes past
+    /// `bytes` are cleared (matching the word kernel's zero padding).
+    pub fn and_assign(acc: &mut [u8], bytes: &[u8]) {
+        let n = acc.len().min(bytes.len());
+        for (a, b) in acc[..n].iter_mut().zip(bytes) {
+            *a &= b;
+        }
+        for a in &mut acc[n..] {
+            *a = 0;
+        }
+    }
+
+    /// Byte-loop `acc |= bytes` with per-bit tail masking.
+    pub fn or_assign(acc: &mut [u8], bytes: &[u8], nbits: u32) {
+        let n = acc.len().min(bytes.len());
+        for (a, b) in acc[..n].iter_mut().zip(bytes) {
+            *a |= b;
+        }
+        mask_tail_bytes(acc, nbits);
+    }
+
+    /// Clears bits at positions `>= nbits` with a per-bit loop.
+    pub fn mask_tail_bytes(acc: &mut [u8], nbits: u32) {
+        for (i, a) in acc.iter_mut().enumerate() {
+            for bit in 0..8 {
+                if (i * 8 + bit) as u32 >= nbits {
+                    *a &= !(1 << bit);
+                }
+            }
+        }
+    }
+
+    /// Bit-loop `T ⊇ Q` row match: every query bit set in the row.
+    pub fn is_covered_by(query: &[u8], row: &[u8], nbits: u32) -> bool {
+        (0..nbits).all(|i| !get_bit(query, i) || get_bit(row, i))
+    }
+
+    /// Bit-loop `T ⊆ Q` row match: every row bit (within the width) set
+    /// in the query.
+    pub fn covers(query: &[u8], row: &[u8], nbits: u32) -> bool {
+        (0..nbits).all(|i| !get_bit(row, i) || get_bit(query, i))
+    }
+
+    /// Bit-loop equality over the width.
+    pub fn eq(query: &[u8], row: &[u8], nbits: u32) -> bool {
+        (0..nbits).all(|i| get_bit(query, i) == get_bit(row, i))
+    }
+
+    /// Bit-loop popcount of the intersection.
+    pub fn intersection_count(query: &[u8], row: &[u8], nbits: u32) -> u32 {
+        (0..nbits)
+            .filter(|&i| get_bit(query, i) && get_bit(row, i))
+            .count() as u32
+    }
+
+    /// Bit-loop ascending set-position scan.
+    pub fn iter_ones(nbits: u32, bytes: &[u8]) -> Vec<u32> {
+        (0..nbits).filter(|&i| get_bit(bytes, i)).collect()
+    }
+
+    /// Bit `i` of an LSB-first buffer; bits past the end read as zero.
+    fn get_bit(bytes: &[u8], i: u32) -> bool {
+        bytes
+            .get((i / 8) as usize)
+            .is_some_and(|b| b >> (i % 8) & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Widths chosen to straddle every alignment case: sub-byte, sub-word,
+    /// exact word, word+byte, word+bit, multi-word.
+    const WIDTHS: [u32; 9] = [1, 7, 8, 63, 64, 65, 100, 128, 509];
+
+    fn pattern(nbits: u32, salt: u64) -> Vec<u8> {
+        let nbytes = (nbits as usize).div_ceil(8);
+        (0..nbytes)
+            .map(|i| (i as u64).wrapping_mul(0x9e37_79b9).wrapping_add(salt) as u8)
+            .collect()
+    }
+
+    fn to_words(bytes: &[u8], nbits: u32) -> Vec<u64> {
+        let mut w = vec![0u64; words_for(nbits)];
+        fill(&mut w, bytes, nbits);
+        w
+    }
+
+    fn to_bytes(words: &[u64], nbits: u32) -> Vec<u8> {
+        let nbytes = (nbits as usize).div_ceil(8);
+        let mut out = vec![0u8; nbytes];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = (words[i / 8] >> ((i % 8) * 8)) as u8;
+        }
+        out
+    }
+
+    #[test]
+    fn tail_mask_covers_all_remainders() {
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(128), !0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(65), 1);
+        assert_eq!(tail_mask(70), 0b11_1111);
+    }
+
+    #[test]
+    fn and_matches_reference_and_reports_liveness() {
+        for &nbits in &WIDTHS {
+            let a = pattern(nbits, 3);
+            let b = pattern(nbits, 5);
+            let mut acc = to_words(&a, nbits);
+            let alive = and_assign(&mut acc, &b);
+            let mut rf = a.clone();
+            reference::and_assign(&mut rf, &b);
+            reference::mask_tail_bytes(&mut rf, nbits);
+            assert_eq!(to_bytes(&acc, nbits), rf, "width {nbits}");
+            assert_eq!(alive != 0, acc.iter().any(|&w| w != 0), "width {nbits}");
+        }
+    }
+
+    #[test]
+    fn and_clears_words_past_short_input() {
+        let mut acc = vec![!0u64; 3];
+        let alive = and_assign(&mut acc, &[0xff, 0xff]);
+        assert_eq!(acc, vec![0xffff, 0, 0]);
+        assert_ne!(alive, 0);
+        let mut acc = vec![!0u64; 2];
+        assert_eq!(and_assign(&mut acc, &[]), 0);
+        assert_eq!(acc, vec![0, 0]);
+    }
+
+    #[test]
+    fn or_masks_padding_garbage() {
+        for &nbits in &WIDTHS {
+            let mut acc = vec![0u64; words_for(nbits)];
+            let all = vec![0xffu8; (nbits as usize).div_ceil(8)];
+            or_assign(&mut acc, &all, nbits);
+            let ones: u32 = acc.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(ones, nbits, "width {nbits}");
+        }
+    }
+
+    #[test]
+    fn fill_is_canonical() {
+        for &nbits in &WIDTHS {
+            let bytes = vec![0xffu8; (nbits as usize).div_ceil(8)];
+            let w = to_words(&bytes, nbits);
+            assert_eq!(
+                w.iter().map(|w| w.count_ones()).sum::<u32>(),
+                nbits,
+                "width {nbits}"
+            );
+        }
+    }
+
+    #[test]
+    fn match_kernels_agree_with_bit_loops() {
+        for &nbits in &WIDTHS {
+            for salt in 0..4u64 {
+                let q = pattern(nbits, salt);
+                let r = pattern(nbits, salt ^ 0xa5);
+                let qw = to_words(&q, nbits);
+                // The bit-loop oracle reads raw bytes; mask the query the
+                // same way `to_words` does before comparing.
+                let qm = to_bytes(&qw, nbits);
+                assert_eq!(
+                    is_covered_by(&qw, &r),
+                    reference::is_covered_by(&qm, &r, nbits),
+                    "⊇ width {nbits} salt {salt}"
+                );
+                assert_eq!(
+                    covers(&qw, &r, nbits),
+                    reference::covers(&qm, &r, nbits),
+                    "⊆ width {nbits} salt {salt}"
+                );
+                assert_eq!(
+                    eq(&qw, &r, nbits),
+                    reference::eq(&qm, &r, nbits),
+                    "eq width {nbits} salt {salt}"
+                );
+                assert_eq!(
+                    intersection_count(&qw, &r),
+                    reference::intersection_count(&qm, &r, nbits),
+                    "popcount width {nbits} salt {salt}"
+                );
+                assert_eq!(
+                    iter_ones(nbits, &r).collect::<Vec<_>>(),
+                    reference::iter_ones(nbits, &r),
+                    "iter_ones width {nbits} salt {salt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_rows_read_as_zero_padded() {
+        // An SSF row buffer is exactly sig_bytes long; a query word past it
+        // must compare against zeros, not panic.
+        let q = to_words(&[0b1, 0, 0, 0, 0, 0, 0, 0, 0b1], 65);
+        assert!(!is_covered_by(&q, &[0b1]));
+        assert!(is_covered_by(&to_words(&[0b1], 65), &[0b1]));
+        assert!(covers(&q, &[0b1], 65));
+        assert_eq!(intersection_count(&q, &[0b1]), 1);
+    }
+
+    #[test]
+    fn accumulate_ones_counts_every_position_once() {
+        let mut counts = vec![0u32; 20];
+        let bm = [0b1000_0001u8, 0b0000_0001, 0b1111_1000];
+        accumulate_ones(&mut counts, &bm);
+        accumulate_ones(&mut counts, &bm);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[7], 2);
+        assert_eq!(counts[8], 2);
+        assert_eq!(counts[19], 2);
+        assert_eq!(counts.iter().sum::<u32>(), 2 * 4); // bits 20+ masked off
+    }
+
+    #[test]
+    fn accumulate_ones_survives_the_u16_boundary() {
+        // Regression for the overlap-count truncation: 65,536 single-bit
+        // accumulations must count 65,536, not wrap to 0 as a u16 did.
+        let mut counts = vec![0u32; 8];
+        for _ in 0..=u16::MAX as u32 {
+            accumulate_ones(&mut counts, &[0b1]);
+        }
+        assert_eq!(counts[0], u16::MAX as u32 + 1);
+        assert!(counts[0] > u16::MAX as u32, "count must not wrap at 2^16");
+    }
+}

@@ -73,6 +73,7 @@ mod error;
 mod facility;
 mod fssf;
 mod hash;
+pub mod kernel;
 mod meta;
 mod oid;
 mod oidfile;

@@ -64,13 +64,15 @@ impl QueryObs {
         };
         let stats = out.ctr.map(ScanCounters::stats);
         let (slices, early_exit) = out.ctr.map(ScanCounters::probe).unwrap_or((0, false));
-        let (cache_hits, cache_misses) = match (self.cache_before, out.cache_after) {
-            (Some(before), Some(after)) => (
-                Some(after.hits.saturating_sub(before.hits)),
-                Some(after.misses.saturating_sub(before.misses)),
-            ),
-            _ => (None, None),
-        };
+        let (cache_hits, cache_misses, cache_pinned_hits) =
+            match (self.cache_before, out.cache_after) {
+                (Some(before), Some(after)) => (
+                    Some(after.hits.saturating_sub(before.hits)),
+                    Some(after.misses.saturating_sub(before.misses)),
+                    Some(after.pinned_hits.saturating_sub(before.pinned_hits)),
+                ),
+                _ => (None, None, None),
+            };
         self.rec.record_query(&QueryTrace {
             facility: out.facility.to_owned(),
             predicate,
@@ -86,6 +88,7 @@ impl QueryObs {
             false_drops: None,
             cache_hits,
             cache_misses,
+            cache_pinned_hits,
             latency_ns: self.start.elapsed().as_nanos() as u64,
         });
     }

@@ -19,6 +19,7 @@ use crate::config::SignatureConfig;
 use crate::element::ElementKey;
 use crate::error::{Error, Result};
 use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
+use crate::kernel;
 use crate::oid::Oid;
 use crate::oidfile::OidFile;
 use crate::qtrace::{QueryObs, QueryOutcome};
@@ -76,7 +77,20 @@ impl Ssf {
         cfg: SignatureConfig,
         pool_pages: usize,
     ) -> Result<Self> {
-        let pool = Arc::new(BufferPool::new(disk, pool_pages));
+        Self::create_tiered(disk, name, cfg, pool_pages, 0)
+    }
+
+    /// Like [`Ssf::create_cached`], with a pinned in-RAM tier of up to
+    /// `pinned_pages` pages above the LRU pool (see
+    /// [`BufferPool::with_pinned`]); `0` disables the tier.
+    pub fn create_tiered(
+        disk: Arc<setsig_pagestore::Disk>,
+        name: &str,
+        cfg: SignatureConfig,
+        pool_pages: usize,
+        pinned_pages: usize,
+    ) -> Result<Self> {
+        let pool = Arc::new(BufferPool::with_pinned(disk, pool_pages, pinned_pages));
         let io: Arc<dyn PageIo> = Arc::clone(&pool) as Arc<dyn PageIo>;
         let mut ssf = Self::create(io, name, cfg)?;
         ssf.pool = Some(pool);
@@ -225,15 +239,18 @@ impl Ssf {
         let page = self.sig_file.read(page_no)?;
         let base = page_no as u64 * self.per_page;
         let slots = (total - base).min(self.per_page) as usize;
-        let q = query_sig.bitmap();
+        // Hoist the query's words and width once; the per-row loop then
+        // calls the word kernels directly with no per-row width re-checks.
+        let qw = query_sig.bitmap().words();
+        let nbits = self.cfg.f_bits();
         let m = self.cfg.m_weight();
         for s in 0..slots {
             let row = page.read_slice(s * self.sig_bytes, self.sig_bytes);
             let hit = match query.predicate {
-                SetPredicate::HasSubset | SetPredicate::Contains => q.is_covered_by_bytes(row),
-                SetPredicate::InSubset => q.covers_bytes(row),
-                SetPredicate::Equals => q.eq_bytes(row),
-                SetPredicate::Overlaps => q.intersection_count_bytes(row) >= m,
+                SetPredicate::HasSubset | SetPredicate::Contains => kernel::is_covered_by(qw, row),
+                SetPredicate::InSubset => kernel::covers(qw, row, nbits),
+                SetPredicate::Equals => kernel::eq(qw, row, nbits),
+                SetPredicate::Overlaps => kernel::intersection_count(qw, row) >= m,
             };
             if hit {
                 out.push(base + s as u64);

@@ -2,13 +2,47 @@
 
 use proptest::prelude::*;
 use setsig_core::{
-    Bitmap, Bssf, ElementKey, Oid, SetAccessFacility, SetQuery, Signature, SignatureConfig, Ssf,
+    kernel, Bitmap, Bssf, ElementKey, Oid, SetAccessFacility, SetQuery, Signature,
+    SignatureConfig, Ssf,
 };
 use setsig_pagestore::{Disk, PageIo};
 use std::sync::Arc;
 
 fn keys(v: &[u64]) -> Vec<ElementKey> {
     v.iter().map(|&e| ElementKey::from(e)).collect()
+}
+
+/// Widths that are never a multiple of 8 (hence never of 64): the word
+/// kernels' partial-tail paths, which a byte- or word-aligned width would
+/// silently skip.
+fn unaligned_width() -> impl Strategy<Value = u32> {
+    (1u32..512).prop_map(|n| if n % 8 == 0 { n + 1 } else { n })
+}
+
+/// Canonical word view of an LSB-first byte buffer (padding bits zero).
+fn canonical_words(nbits: u32, bytes: &[u8]) -> Vec<u64> {
+    let mut words = vec![0u64; kernel::words_for(nbits)];
+    kernel::fill(&mut words, bytes, nbits);
+    words
+}
+
+/// Serializes canonical words back to the `ceil(nbits/8)` LE byte form the
+/// reference loops operate on.
+fn words_to_bytes(words: &[u64], nbits: u32) -> Vec<u8> {
+    (0..(nbits as usize).div_ceil(8))
+        .map(|i| (words[i / 8] >> (8 * (i % 8))) as u8)
+        .collect()
+}
+
+/// Smears garbage over the final byte's bits at positions `>= nbits`, so
+/// differential runs prove the kernels mask (or are immune to) tail junk.
+fn smear_tail(bytes: &mut [u8], nbits: u32, garbage: u8) {
+    let rem = nbits % 8;
+    if rem != 0 {
+        if let Some(last) = bytes.last_mut() {
+            *last |= garbage << rem;
+        }
+    }
 }
 
 proptest! {
@@ -191,6 +225,124 @@ proptest! {
         let (smart, _) = bssf.candidates_subset_smart(&q_sub, cap * 8).unwrap();
         for oid in &plain.oids {
             prop_assert!(smart.oids.contains(oid));
+        }
+    }
+
+    /// Word AND/OR kernels are bit-identical to the byte-loop references at
+    /// unaligned widths, garbage tail bits and all, and the fused AND
+    /// liveness flag equals "result is nonzero".
+    #[test]
+    fn kernel_and_or_match_byte_references(
+        nbits in unaligned_width(),
+        acc_seed in proptest::collection::vec(0u8..=255, 0..70),
+        row_seed in proptest::collection::vec(0u8..=255, 0..70),
+        garbage in 0u8..=255,
+    ) {
+        let nbytes = (nbits as usize).div_ceil(8);
+        let mut acc_bytes: Vec<u8> = acc_seed.into_iter().cycle().take(nbytes).collect();
+        if acc_bytes.len() < nbytes {
+            acc_bytes.resize(nbytes, 0); // empty seed → all-zero accumulator
+        }
+        let mut row: Vec<u8> = row_seed.into_iter().cycle().take(nbytes).collect();
+        row.resize(nbytes, 0);
+        smear_tail(&mut row, nbits, garbage);
+
+        // AND: canonical word accumulator vs. byte loop on the same start.
+        let mut words = canonical_words(nbits, &acc_bytes);
+        let mut ref_bytes = words_to_bytes(&words, nbits);
+        let alive = kernel::and_assign(&mut words, &row);
+        kernel::reference::and_assign(&mut ref_bytes, &row);
+        // The byte loop leaves row tail garbage wherever acc padding would
+        // allow it — only positions < nbits are contractual.
+        kernel::reference::mask_tail_bytes(&mut ref_bytes, nbits);
+        prop_assert_eq!(&words_to_bytes(&words, nbits), &ref_bytes);
+        prop_assert_eq!(alive != 0, ref_bytes.iter().any(|&b| b != 0));
+        // The AND result stays canonical without any explicit masking.
+        let recanon = canonical_words(nbits, &words_to_bytes(&words, nbits));
+        prop_assert_eq!(&words, &recanon);
+
+        // OR: same differential, and the result must be canonical too.
+        let mut words = canonical_words(nbits, &acc_bytes);
+        let mut ref_bytes = words_to_bytes(&words, nbits);
+        kernel::or_assign(&mut words, &row, nbits);
+        kernel::reference::or_assign(&mut ref_bytes, &row, nbits);
+        prop_assert_eq!(&words_to_bytes(&words, nbits), &ref_bytes);
+        let recanon = canonical_words(nbits, &words_to_bytes(&words, nbits));
+        prop_assert_eq!(&words, &recanon);
+    }
+
+    /// Word-level row predicates (⊇, ⊆, =, overlap popcount) agree with the
+    /// bit-loop references on every width, including rows shorter than the
+    /// width (sparse zero-padded tails) and rows with garbage tail bits.
+    #[test]
+    fn kernel_predicates_match_bit_loops(
+        nbits in unaligned_width(),
+        q_seed in proptest::collection::vec(0u8..=255, 0..70),
+        row_seed in proptest::collection::vec(0u8..=255, 0..70),
+        garbage in 0u8..=255,
+        truncate in 0usize..8,
+    ) {
+        let nbytes = (nbits as usize).div_ceil(8);
+        let mut q_bytes: Vec<u8> = q_seed.into_iter().cycle().take(nbytes).collect();
+        q_bytes.resize(nbytes, 0);
+        let query = canonical_words(nbits, &q_bytes);
+        let q_clean = words_to_bytes(&query, nbits);
+
+        let mut row: Vec<u8> = row_seed.into_iter().cycle().take(nbytes).collect();
+        row.resize(nbytes, 0);
+        // Either a short row (zero-padded past the end) or a full-width row
+        // with garbage in the final byte's padding bits.
+        if truncate > 0 {
+            row.truncate(nbytes.saturating_sub(truncate));
+        } else {
+            smear_tail(&mut row, nbits, garbage);
+        }
+
+        prop_assert_eq!(
+            kernel::is_covered_by(&query, &row),
+            kernel::reference::is_covered_by(&q_clean, &row, nbits)
+        );
+        prop_assert_eq!(
+            kernel::covers(&query, &row, nbits),
+            kernel::reference::covers(&q_clean, &row, nbits)
+        );
+        prop_assert_eq!(
+            kernel::eq(&query, &row, nbits),
+            kernel::reference::eq(&q_clean, &row, nbits)
+        );
+        prop_assert_eq!(
+            kernel::intersection_count(&query, &row),
+            kernel::reference::intersection_count(&q_clean, &row, nbits)
+        );
+    }
+
+    /// Word-at-a-time `iter_ones` and the overlap accumulator visit exactly
+    /// the reference bit-scan's positions, in ascending order.
+    #[test]
+    fn kernel_iter_ones_matches_bit_scan(
+        nbits in unaligned_width(),
+        row_seed in proptest::collection::vec(0u8..=255, 0..70),
+        garbage in 0u8..=255,
+        truncate in 0usize..8,
+    ) {
+        let nbytes = (nbits as usize).div_ceil(8);
+        let mut row: Vec<u8> = row_seed.into_iter().cycle().take(nbytes).collect();
+        row.resize(nbytes, 0);
+        if truncate > 0 {
+            row.truncate(nbytes.saturating_sub(truncate));
+        } else {
+            smear_tail(&mut row, nbits, garbage);
+        }
+
+        let expect = kernel::reference::iter_ones(nbits, &row);
+        let got: Vec<u32> = kernel::iter_ones(nbits, &row).collect();
+        prop_assert_eq!(&got, &expect);
+
+        // accumulate_ones bumps exactly those positions by one.
+        let mut counts = vec![0u32; nbits as usize];
+        kernel::accumulate_ones(&mut counts, &row);
+        for (p, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, u32::from(expect.contains(&(p as u32))), "position {}", p);
         }
     }
 }

@@ -83,6 +83,9 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Buffer-pool capacity in frames; `None` leaves reads uncached.
     pub pool_pages: Option<usize>,
+    /// Pinned in-RAM tier above the pool, in pages; requires `pool_pages`.
+    /// `None` disables the tier.
+    pub pinned_pages: Option<usize>,
     /// OID-hash shards for the query service (`1` = unsharded; answers
     /// and page charges are then identical to the flat facility).
     pub shards: usize,
@@ -95,6 +98,7 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 1,
             pool_pages: None,
+            pinned_pages: None,
             shards: 1,
             queue_depth: ServiceConfig::DEFAULT_QUEUE_DEPTH,
         }
@@ -109,9 +113,11 @@ impl EngineConfig {
 
     /// Reads `SETSIG_THREADS` (scan worker count, default 1),
     /// `SETSIG_POOL_PAGES` (buffer-pool frames, default none),
-    /// `SETSIG_SHARDS` (query-service shards, default 1), and
-    /// `SETSIG_QUEUE_DEPTH` (service admission queue, default 64) so any
-    /// exhibit binary can flip engines without a rebuild.
+    /// `SETSIG_PINNED_PAGES` (pinned tier above the pool, default none;
+    /// requires `SETSIG_POOL_PAGES`), `SETSIG_SHARDS` (query-service
+    /// shards, default 1), and `SETSIG_QUEUE_DEPTH` (service admission
+    /// queue, default 64) so any exhibit binary can flip engines without a
+    /// rebuild.
     ///
     /// Panics on an invalid value. A knob that silently fell back to the
     /// serial default would let a typo masquerade as an 8-thread
@@ -147,9 +153,22 @@ impl EngineConfig {
                 )),
             }
         }
+        let pool_pages = knob("SETSIG_POOL_PAGES", get("SETSIG_POOL_PAGES"))?;
+        let pinned_pages = knob("SETSIG_PINNED_PAGES", get("SETSIG_PINNED_PAGES"))?;
+        if pinned_pages.is_some() && pool_pages.is_none() {
+            // The pinned tier sits above the LRU pool; without a pool there
+            // is nothing to tier. A silent fallback would report pinned-hit
+            // numbers from an engine that cannot produce them.
+            return Err(
+                "SETSIG_PINNED_PAGES requires SETSIG_POOL_PAGES (the pinned tier \
+                 sits above the buffer pool; unset it for uncached reads)"
+                    .into(),
+            );
+        }
         Ok(EngineConfig {
             threads: knob("SETSIG_THREADS", get("SETSIG_THREADS"))?.unwrap_or(1),
-            pool_pages: knob("SETSIG_POOL_PAGES", get("SETSIG_POOL_PAGES"))?,
+            pool_pages,
+            pinned_pages,
             shards: knob("SETSIG_SHARDS", get("SETSIG_SHARDS"))?.unwrap_or(1),
             queue_depth: knob("SETSIG_QUEUE_DEPTH", get("SETSIG_QUEUE_DEPTH"))?
                 .unwrap_or(ServiceConfig::DEFAULT_QUEUE_DEPTH),
@@ -260,8 +279,14 @@ impl SimDb {
         let cfg = SignatureConfig::new(f, m).expect("valid signature config");
         let name = format!("ssf-f{f}-m{m}");
         let mut ssf = match engine.pool_pages {
-            Some(pages) => Ssf::create_cached(Arc::clone(self.db.disk()), &name, cfg, pages)
-                .expect("fits page"),
+            Some(pages) => Ssf::create_tiered(
+                Arc::clone(self.db.disk()),
+                &name,
+                cfg,
+                pages,
+                engine.pinned_pages.unwrap_or(0),
+            )
+            .expect("fits page"),
             None => Ssf::create(self.io(), &name, cfg).expect("fits page"),
         };
         ssf.set_parallelism(engine.threads);
@@ -285,9 +310,14 @@ impl SimDb {
         let cfg = SignatureConfig::new(f, m).expect("valid signature config");
         let name = format!("bssf-f{f}-m{m}");
         let mut bssf = match engine.pool_pages {
-            Some(pages) => {
-                Bssf::create_cached(Arc::clone(self.db.disk()), &name, cfg, pages).expect("create")
-            }
+            Some(pages) => Bssf::create_tiered(
+                Arc::clone(self.db.disk()),
+                &name,
+                cfg,
+                pages,
+                engine.pinned_pages.unwrap_or(0),
+            )
+            .expect("create"),
             None => Bssf::create(self.io(), &name, cfg).expect("create"),
         };
         bssf.set_parallelism(engine.threads);
@@ -344,10 +374,14 @@ impl SimDb {
             .map(|(shard, items)| {
                 let name = format!("bssf-f{f}-m{m}-s{shard}");
                 let mut bssf = match engine.pool_pages {
-                    Some(pages) => {
-                        Bssf::create_cached(Arc::clone(self.db.disk()), &name, cfg, pages)
-                            .expect("create")
-                    }
+                    Some(pages) => Bssf::create_tiered(
+                        Arc::clone(self.db.disk()),
+                        &name,
+                        cfg,
+                        pages,
+                        engine.pinned_pages.unwrap_or(0),
+                    )
+                    .expect("create"),
                     None => Bssf::create(self.io(), &name, cfg).expect("create"),
                 };
                 bssf.set_parallelism(engine.threads);
@@ -552,6 +586,42 @@ mod tests {
         assert!(err.contains("SETSIG_POOL_PAGES"), "{err}");
     }
 
+    #[test]
+    fn engine_env_parses_pinned_tier_above_the_pool() {
+        let cfg = EngineConfig::from_lookup(lookup(&[
+            ("SETSIG_POOL_PAGES", "256"),
+            ("SETSIG_PINNED_PAGES", " 32 "),
+        ]))
+        .unwrap();
+        assert_eq!(cfg.pool_pages, Some(256));
+        assert_eq!(cfg.pinned_pages, Some(32));
+        // Blank means default (no tier), same as the other knobs.
+        let cfg = EngineConfig::from_lookup(lookup(&[
+            ("SETSIG_POOL_PAGES", "256"),
+            ("SETSIG_PINNED_PAGES", "  "),
+        ]))
+        .unwrap();
+        assert_eq!(cfg.pinned_pages, None);
+        for bad in ["0", "-1", "many"] {
+            let err = EngineConfig::from_lookup(lookup(&[
+                ("SETSIG_POOL_PAGES", "256"),
+                ("SETSIG_PINNED_PAGES", bad),
+            ]))
+            .unwrap_err();
+            assert!(err.contains("SETSIG_PINNED_PAGES"), "{err}");
+        }
+    }
+
+    #[test]
+    fn engine_env_pinned_tier_requires_a_pool() {
+        let err =
+            EngineConfig::from_lookup(lookup(&[("SETSIG_PINNED_PAGES", "8")])).unwrap_err();
+        assert!(
+            err.contains("SETSIG_PINNED_PAGES") && err.contains("SETSIG_POOL_PAGES"),
+            "error must name both knobs: {err}"
+        );
+    }
+
     fn small_cfg() -> WorkloadConfig {
         WorkloadConfig {
             n_objects: 500,
@@ -669,6 +739,42 @@ mod tests {
             cached.candidates(&q).unwrap()
         );
         assert!(cached.cache_stats().is_some());
+    }
+
+    #[test]
+    fn pinned_tier_engine_answers_identically_and_reports_pinned_hits() {
+        let sim = SimDb::build(small_cfg());
+        let serial = sim.build_bssf_with(128, 2, EngineConfig::serial());
+        let tiered = sim.build_bssf_with(
+            128,
+            2,
+            EngineConfig {
+                pool_pages: Some(64),
+                pinned_pages: Some(16),
+                ..EngineConfig::serial()
+            },
+        );
+        let q = SetQuery::has_subset(vec![ElementKey::from(7u64)]);
+        // Repeat the query: pass 1 misses, pass 2 promotes the slice pages
+        // into the pinned tier, pass 3 must hit it.
+        for pass in 0..3 {
+            assert_eq!(
+                serial.candidates(&q).unwrap(),
+                tiered.candidates(&q).unwrap(),
+                "pass {pass}"
+            );
+            // Logical page charges are engine-independent (drift gate).
+            let ms = sim.measure_facility(&serial, &q);
+            let mt = sim.measure_facility(&tiered, &q);
+            assert_eq!(ms.filter_pages, mt.filter_pages, "pass {pass}");
+            assert_eq!(ms.total_pages(), mt.total_pages(), "pass {pass}");
+        }
+        let stats = tiered.cache_stats().expect("tiered engine reports stats");
+        assert!(
+            stats.pinned_hits > 0,
+            "repeated scans must land in the pinned tier: {stats:?}"
+        );
+        assert!(stats.misses > 0, "first pass read from disk: {stats:?}");
     }
 
     #[test]

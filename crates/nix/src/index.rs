@@ -79,6 +79,7 @@ impl Nix {
             false_drops: None,
             cache_hits: None,
             cache_misses: None,
+            cache_pinned_hits: None,
             latency_ns: t0.elapsed().as_nanos() as u64,
         });
     }

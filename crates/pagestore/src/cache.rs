@@ -17,10 +17,14 @@ use crate::error::Result;
 use crate::page::Page;
 use crate::stats::IoSnapshot;
 
-/// Hit/miss counters for a [`BufferPool`].
+/// Hit/miss counters for a [`BufferPool`], split by tier: a read is served
+/// by the pinned tier, the LRU pool, or the disk — exactly one of
+/// `pinned_hits`, `hits`, `misses` counts it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Read requests satisfied from the pool.
+    /// Read requests satisfied from the pinned in-RAM tier.
+    pub pinned_hits: u64,
+    /// Read requests satisfied from the LRU pool.
     pub hits: u64,
     /// Read requests that had to go to disk.
     pub misses: u64,
@@ -29,13 +33,15 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Fraction of reads served from the pool, or 0 when idle.
+    /// Fraction of reads served from memory (pinned tier or pool), or 0
+    /// when idle.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let served = self.pinned_hits + self.hits;
+        let total = served + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 }
@@ -45,6 +51,7 @@ impl std::ops::Add for CacheStats {
 
     fn add(self, rhs: CacheStats) -> CacheStats {
         CacheStats {
+            pinned_hits: self.pinned_hits + rhs.pinned_hits,
             hits: self.hits + rhs.hits,
             misses: self.misses + rhs.misses,
             evictions: self.evictions + rhs.evictions,
@@ -77,6 +84,12 @@ struct PoolInner {
     head: usize,
     /// Least recently used frame (the eviction victim), or [`NIL`].
     tail: usize,
+    /// The pinned tier: pages admitted here are never evicted, served
+    /// before the LRU list, and refreshed write-through like any frame.
+    pinned: HashMap<(FileId, u32), Page>,
+    /// Access counts driving pinned admission; tracked only while the
+    /// pinned tier has room, cleared once it fills.
+    heat: HashMap<(FileId, u32), u32>,
     stats: CacheStats,
 }
 
@@ -125,6 +138,8 @@ impl PoolInner {
 pub struct BufferPool {
     disk: Arc<Disk>,
     capacity: usize,
+    /// Maximum pages in the pinned tier; `0` disables it entirely.
+    pinned_capacity: usize,
     // The pool lock is NEVER held across a `self.disk` call (enforced by
     // the guard-across-io lint): `read_page` drops its guard before a
     // miss goes to disk; `write_page`/`append_page` take it only after
@@ -136,20 +151,46 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Creates a pool of `capacity` frames (must be nonzero) over `disk`.
+    /// Creates a pool of `capacity` frames (must be nonzero) over `disk`,
+    /// with no pinned tier.
     pub fn new(disk: Arc<Disk>, capacity: usize) -> Self {
+        Self::with_pinned(disk, capacity, 0)
+    }
+
+    /// Creates a pool of `capacity` LRU frames plus a pinned tier of up to
+    /// `pinned_capacity` pages above it.
+    ///
+    /// Admission is by heat: a page's second read while the tier has room
+    /// pins it permanently (a single read is not evidence of reuse, and the
+    /// hottest pages — BSSF slice pages re-read by every query — reach two
+    /// first). Pinned pages are served before the LRU list, never evicted,
+    /// and kept coherent by the same write-through as the frames.
+    pub fn with_pinned(disk: Arc<Disk>, capacity: usize, pinned_capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         BufferPool {
             disk,
             capacity,
+            pinned_capacity,
             inner: Mutex::new(PoolInner {
                 frames: Vec::with_capacity(capacity),
                 map: HashMap::new(),
                 head: NIL,
                 tail: NIL,
+                pinned: HashMap::new(),
+                heat: HashMap::new(),
                 stats: CacheStats::default(),
             }),
         }
+    }
+
+    /// Maximum pages the pinned tier may hold (`0` = tier disabled).
+    pub fn pinned_capacity(&self) -> usize {
+        self.pinned_capacity
+    }
+
+    /// Pages currently held by the pinned tier.
+    pub fn pinned_len(&self) -> usize {
+        self.inner.lock().pinned.len()
     }
 
     /// Hit/miss counters.
@@ -162,16 +203,40 @@ impl BufferPool {
         &self.disk
     }
 
-    /// Drops all cached frames (counters are kept).
+    /// Drops all cached frames and pinned pages (counters are kept).
     pub fn clear(&self) {
         let mut g = self.inner.lock();
         g.frames.clear();
         g.map.clear();
         g.head = NIL;
         g.tail = NIL;
+        g.pinned.clear();
+        g.heat.clear();
+    }
+
+    /// Counts a read of `key` towards pinned admission, pinning `page` on
+    /// its second access while the tier has room. Heat stops accumulating
+    /// once the tier fills, so the map's size is bounded by the reads made
+    /// while it still had room.
+    fn note_heat(&self, g: &mut PoolInner, key: (FileId, u32), page: &Page) {
+        if self.pinned_capacity == 0 || g.pinned.len() >= self.pinned_capacity {
+            return;
+        }
+        let heat = g.heat.entry(key).or_insert(0);
+        *heat += 1;
+        if *heat >= 2 {
+            g.heat.remove(&key);
+            g.pinned.insert(key, page.clone());
+        }
     }
 
     fn install(&self, g: &mut PoolInner, key: (FileId, u32), page: Page) {
+        if let Some(pinned) = g.pinned.get_mut(&key) {
+            // Keep the pinned copy coherent; a pinned page takes no LRU
+            // frame — the tier alone serves it.
+            *pinned = page;
+            return;
+        }
         if let Some(&slot) = g.map.get(&key) {
             g.frames[slot].page = page;
             g.touch(slot);
@@ -208,15 +273,23 @@ impl PageIo for BufferPool {
         let key = (id, n);
         {
             let mut g = self.inner.lock();
+            if let Some(page) = g.pinned.get(&key) {
+                let page = page.clone();
+                g.stats.pinned_hits += 1;
+                return Ok(page);
+            }
             if let Some(&slot) = g.map.get(&key) {
                 g.touch(slot);
                 g.stats.hits += 1;
-                return Ok(g.frames[slot].page.clone());
+                let page = g.frames[slot].page.clone();
+                self.note_heat(&mut g, key, &page);
+                return Ok(page);
             }
             g.stats.misses += 1;
         }
         let page = self.disk.read_page(id, n)?;
         let mut g = self.inner.lock();
+        self.note_heat(&mut g, key, &page);
         self.install(&mut g, key, page.clone());
         Ok(page)
     }
@@ -274,11 +347,13 @@ mod tests {
     #[test]
     fn cache_stats_sum_componentwise() {
         let a = CacheStats {
+            pinned_hits: 1,
             hits: 2,
             misses: 3,
             evictions: 1,
         };
         let b = CacheStats {
+            pinned_hits: 6,
             hits: 5,
             misses: 0,
             evictions: 4,
@@ -287,6 +362,7 @@ mod tests {
         assert_eq!(
             s,
             CacheStats {
+                pinned_hits: 7,
                 hits: 7,
                 misses: 3,
                 evictions: 5
@@ -296,6 +372,8 @@ mod tests {
         acc += a;
         acc += b;
         assert_eq!(acc, s);
+        // Pinned hits are memory hits: 14 served / 17 total.
+        assert!((s.hit_rate() - 14.0 / 17.0).abs() < 1e-9);
     }
 
     #[test]
@@ -407,5 +485,107 @@ mod tests {
     fn zero_capacity_rejected() {
         let disk = Arc::new(Disk::new());
         let _ = BufferPool::new(disk, 0);
+    }
+
+    fn pinned_pool(cap: usize, pinned: usize) -> (Arc<Disk>, BufferPool) {
+        let disk = Arc::new(Disk::new());
+        let pool = BufferPool::with_pinned(Arc::clone(&disk), cap, pinned);
+        (disk, pool)
+    }
+
+    #[test]
+    fn second_access_pins_and_pinned_pages_never_evict() {
+        let (disk, pool) = pinned_pool(2, 1);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 4).unwrap();
+        // Two reads of page 0: miss (heat 1), LRU hit (heat 2 → pinned).
+        let _ = pool.read_page(f, 0).unwrap();
+        let _ = pool.read_page(f, 0).unwrap();
+        assert_eq!(pool.pinned_len(), 1);
+        // Thrash the tiny LRU far past page 0's recency.
+        for _ in 0..3 {
+            for n in 1..4 {
+                let _ = pool.read_page(f, n).unwrap();
+            }
+        }
+        disk.reset_stats();
+        let _ = pool.read_page(f, 0).unwrap();
+        assert_eq!(disk.snapshot().reads, 0, "pinned page survived the thrash");
+        let s = pool.stats();
+        assert_eq!(s.pinned_hits, 1);
+    }
+
+    #[test]
+    fn pinned_tier_respects_capacity() {
+        let (disk, pool) = pinned_pool(2, 2);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 5).unwrap();
+        // Heat up pages 0..4 twice each; only the first two to reach heat 2
+        // fit the tier.
+        for n in 0..5 {
+            let _ = pool.read_page(f, n).unwrap();
+            let _ = pool.read_page(f, n).unwrap();
+        }
+        assert_eq!(pool.pinned_len(), 2);
+        assert_eq!(pool.pinned_capacity(), 2);
+    }
+
+    #[test]
+    fn stats_split_pinned_pool_disk() {
+        let (disk, pool) = pinned_pool(4, 1);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 2).unwrap();
+        let _ = pool.read_page(f, 0).unwrap(); // miss
+        let _ = pool.read_page(f, 0).unwrap(); // pool hit, pins
+        let _ = pool.read_page(f, 0).unwrap(); // pinned hit
+        let _ = pool.read_page(f, 1).unwrap(); // miss
+        let s = pool.stats();
+        assert_eq!((s.pinned_hits, s.hits, s.misses), (1, 1, 2));
+    }
+
+    #[test]
+    fn writes_keep_pinned_copy_coherent() {
+        let (disk, pool) = pinned_pool(2, 1);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 1).unwrap();
+        let _ = pool.read_page(f, 0).unwrap();
+        let _ = pool.read_page(f, 0).unwrap();
+        assert_eq!(pool.pinned_len(), 1);
+        let mut p = Page::zeroed();
+        p.write_u8(0, 42);
+        pool.write_page(f, 0, &p).unwrap();
+        // The pinned tier serves the written contents, not a stale copy.
+        assert_eq!(pool.read_page(f, 0).unwrap().read_u8(0), 42);
+        pool.update_page(f, 0, &mut |page| page.write_u8(0, 43)).unwrap();
+        assert_eq!(pool.read_page(f, 0).unwrap().read_u8(0), 43);
+        // All of those post-pin reads came from RAM.
+        assert_eq!(disk.snapshot().reads, 1);
+    }
+
+    #[test]
+    fn clear_drops_pinned_pages() {
+        let (disk, pool) = pinned_pool(2, 1);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 1).unwrap();
+        let _ = pool.read_page(f, 0).unwrap();
+        let _ = pool.read_page(f, 0).unwrap();
+        assert_eq!(pool.pinned_len(), 1);
+        pool.clear();
+        assert_eq!(pool.pinned_len(), 0);
+        disk.reset_stats();
+        let _ = pool.read_page(f, 0).unwrap();
+        assert_eq!(disk.snapshot().reads, 1);
+    }
+
+    #[test]
+    fn plain_pool_never_pins() {
+        let (disk, pool) = pool(2);
+        let f = disk.create_file("t");
+        disk.extend_to(f, 1).unwrap();
+        for _ in 0..5 {
+            let _ = pool.read_page(f, 0).unwrap();
+        }
+        assert_eq!(pool.pinned_len(), 0);
+        assert_eq!(pool.stats().pinned_hits, 0);
     }
 }
