@@ -28,10 +28,10 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crate::bitmap::Bitmap;
 use crate::config::SignatureConfig;
-use crate::kernel;
 use crate::element::ElementKey;
 use crate::error::{Error, Result};
 use crate::facility::{CandidateSet, ScanCounters, ScanStats, SetAccessFacility};
+use crate::kernel;
 use crate::oid::Oid;
 use crate::oidfile::OidFile;
 use crate::qtrace::{QueryObs, QueryOutcome};
@@ -260,6 +260,7 @@ impl Bssf {
     ///
     /// The serial scan loops call this with one hoisted buffer so the AND/
     /// OR kernels run allocation-free after the first slice.
+    // COST: pages_per_slice pages
     fn read_slice_into(&self, j: u32, buf: &mut Vec<u8>) -> Result<u64> {
         let n = self.oid_file.len();
         let slice = &self.slices[j as usize];
@@ -288,6 +289,7 @@ impl Bssf {
     /// Owned-buffer variant of [`read_slice_into`](Bssf::read_slice_into),
     /// for the parallel pipeline where each fetched slice must outlive its
     /// worker.
+    // COST: pages_per_slice pages
     fn read_slice_bytes(&self, j: u32) -> Result<(Vec<u8>, u64)> {
         let mut buf = Vec::new();
         let np = self.read_slice_into(j, &mut buf)?;
@@ -310,6 +312,7 @@ impl Bssf {
     /// ([`Bitmap::and_assign_bytes`]), and stops as soon as the running
     /// candidate bitmap is empty — no later slice can revive a row.
     // HOT-PATH: bssf.and_loop
+    // COST: slices * pages_per_slice pages
     fn superset_positions(&self, query_sig: &Signature, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len();
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
@@ -352,6 +355,7 @@ impl Bssf {
     /// producing the same candidate bitmap. Speculative fetches beyond the
     /// stop point count only as physical pages.
     // HOT-PATH: bssf.and_pipeline
+    // COST: slices * pages_per_slice pages
     fn superset_positions_parallel(
         &self,
         ones: &[u32],
@@ -388,6 +392,10 @@ impl Bssf {
         let work = Condvar::new();
         let data = Condvar::new();
         let acc = std::thread::scope(|s| -> Result<Bitmap> {
+            // Each spawned worker claims disjoint slice indices off the
+            // shared queue (`g.next`), so the spawn loop partitions the
+            // slice reads across workers instead of repeating them.
+            // COST-SPLIT: slices
             for _ in 0..threads {
                 s.spawn(|| loop {
                     let idx = {
@@ -475,6 +483,7 @@ impl Bssf {
     /// the parallel path lets workers pull slices from a shared queue into
     /// per-worker accumulators and ORs those together at the join — every
     /// slice is read exactly once, logical == physical, order irrelevant.
+    // COST: slices * pages_per_slice pages
     fn subset_positions(
         &self,
         query_sig: &Signature,
@@ -552,6 +561,7 @@ impl Bssf {
     ///
     /// Like the subset scan there is no early exit, so the parallel path
     /// accumulates per-worker count vectors and sums them at the join.
+    // COST: slices * pages_per_slice pages
     fn overlap_positions(&self, query_sig: &Signature, ctr: &ScanCounters) -> Result<Vec<u64>> {
         let n = self.oid_file.len() as usize;
         let ones: Vec<u32> = query_sig.bitmap().iter_ones().collect();
@@ -635,6 +645,7 @@ impl Bssf {
         }
     }
 
+    // COST: oid_pages pages
     fn resolve(&self, positions: Vec<u64>, ctr: &ScanCounters) -> Result<CandidateSet> {
         // The OID look-up is part of the filtering stage's protocol charge
         // (the paper's LC_OID); it is never speculative or parallel.
@@ -741,6 +752,7 @@ impl SetAccessFacility for Bssf {
         Ok(())
     }
 
+    // COST: slices * pages_per_slice + oid_pages pages
     fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
         let obs = QueryObs::start(&self.obs, || self.cache_stats());
         let ctr = ScanCounters::default();

@@ -187,6 +187,7 @@ impl Fssf {
     /// file was truncated or the catalog is stale. The scan refuses to run
     /// — treating missing pages as zeros would silently drop qualifying
     /// rows, violating the facility's no-false-negatives contract.
+    // COST: frame_pages pages
     fn scan_frame(
         &self,
         j: u32,
@@ -318,6 +319,7 @@ impl Fssf {
         Ok(acc.iter_ones().map(u64::from).collect())
     }
 
+    // COST: oid_pages pages
     fn resolve(&self, positions: Vec<u64>, ctr: &ScanCounters) -> Result<CandidateSet> {
         // The OID look-up is part of the filtering stage's protocol charge
         // (the paper's LC_OID).
@@ -369,6 +371,7 @@ impl SetAccessFacility for Fssf {
         Ok(())
     }
 
+    // COST: frames * frame_pages + oid_pages pages
     fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
         let obs = QueryObs::start(&self.obs, || self.cache_stats());
         let ctr = ScanCounters::default();

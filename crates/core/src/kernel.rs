@@ -294,6 +294,11 @@ pub fn accumulate_ones(counts: &mut [u32], bytes: &[u8]) {
 /// The pre-kernel byte/bit-granular loops, kept verbatim in spirit as the
 /// differential-testing oracle and the benchmark baseline. Each function
 /// mirrors one word kernel above and must stay bit-identical to it.
+///
+/// Compiled only under `cfg(test)` and the `bench` feature: production
+/// binaries ship the word kernels alone, so a scan can never silently
+/// fall back to the byte loops.
+#[cfg(any(test, feature = "bench"))]
 pub mod reference {
     /// Byte-loop `acc &= bytes` over serialized buffers; `acc` bytes past
     /// `bytes` are cleared (matching the word kernel's zero padding).

@@ -179,6 +179,7 @@ impl Ssf {
     }
 
     /// Reads the stored signature at `pos` (one page read).
+    // COST: 1 pages
     pub fn signature_at(&self, pos: u64) -> Result<Signature> {
         if pos >= self.oid_file.len() {
             return Err(Error::NoSuchEntry(pos));
@@ -207,6 +208,7 @@ impl Ssf {
 
     /// [`Ssf::scan_matching_positions`] charging its page accounting to
     /// `ctr` — the query-owned counters of the calling `candidates*` frame.
+    // COST: sig_pages pages
     fn scan_matching_positions_counted(
         &self,
         query: &SetQuery,
@@ -228,6 +230,7 @@ impl Ssf {
 
     /// Matches one signature page's rows in place, appending hits to `out`.
     // HOT-PATH: ssf.row_scan
+    // COST: 1 pages
     fn scan_page(
         &self,
         query: &SetQuery,
@@ -405,6 +408,7 @@ impl SetAccessFacility for Ssf {
         Ok(())
     }
 
+    // COST: sig_pages + oid_pages pages
     fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
         let obs = QueryObs::start(&self.obs, || self.cache_stats());
         let ctr = ScanCounters::default();

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use setsig_core::{
-    kernel, Bitmap, Bssf, ElementKey, Oid, SetAccessFacility, SetQuery, Signature,
-    SignatureConfig, Ssf,
+    kernel, Bitmap, Bssf, ElementKey, Oid, SetAccessFacility, SetQuery, Signature, SignatureConfig,
+    Ssf,
 };
 use setsig_pagestore::{Disk, PageIo};
 use std::sync::Arc;

@@ -1,0 +1,278 @@
+//! Runtime evaluator for the static `// COST: <expr> pages` contracts.
+//!
+//! The `cargo xtask cost` lint proves the *shape* of every scan entry
+//! point statically: the page-I/O loop nest under a contracted fn cannot
+//! exceed the contract's polynomial degree. This module is the *dynamic*
+//! half of the same bargain: it parses the identical grammar
+//! (`expr := term ('+' term)*; term := factor ('*' factor)*; factor :=
+//! integer | identifier | '(' expr ')'`) and evaluates a contract against
+//! concrete bindings, so the experiment harness can assert that pages
+//! *measured* on the accounting disk stay at or below the bound the
+//! source code promises.
+//!
+//! The two parsers are deliberately duplicated rather than shared:
+//! `xtask` must stay dependency-free in both directions (it lints this
+//! crate), and the grammar is small enough that the duplication is
+//! cheaper than the coupling. The `grammar_matches_xtask` tests below pin
+//! the accepted/rejected language so the copies cannot drift silently.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed contract bound: sums of products over integer literals and
+/// named symbolic quantities (`slices * pages_per_slice + oid_pages`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundExpr {
+    /// An integer literal.
+    Num(u64),
+    /// A named symbolic quantity.
+    Sym(String),
+    /// `lhs + rhs`.
+    Add(Box<BoundExpr>, Box<BoundExpr>),
+    /// `lhs * rhs`.
+    Mul(Box<BoundExpr>, Box<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Parses `src`, accepting exactly the `xtask` contract grammar.
+    pub fn parse(src: &str) -> Result<BoundExpr, String> {
+        let mut toks = lex(src)?;
+        toks.reverse(); // pop() takes from the front
+        let e = parse_sum(&mut toks)?;
+        if let Some(t) = toks.pop() {
+            return Err(format!("unexpected `{t}` after expression"));
+        }
+        Ok(e)
+    }
+
+    /// The polynomial degree: the maximum number of symbolic factors
+    /// multiplied together in any term.
+    pub fn degree(&self) -> u32 {
+        match self {
+            BoundExpr::Num(_) => 0,
+            BoundExpr::Sym(_) => 1,
+            BoundExpr::Add(a, b) => a.degree().max(b.degree()),
+            BoundExpr::Mul(a, b) => a.degree() + b.degree(),
+        }
+    }
+
+    /// Every distinct symbol, in first-appearance order.
+    pub fn symbols(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols<'e>(&'e self, out: &mut Vec<&'e str>) {
+        match self {
+            BoundExpr::Num(_) => {}
+            BoundExpr::Sym(s) => {
+                if !out.contains(&s.as_str()) {
+                    out.push(s);
+                }
+            }
+            BoundExpr::Add(a, b) | BoundExpr::Mul(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+        }
+    }
+
+    /// Evaluates under `env`; errors on the first unbound symbol.
+    pub fn eval(&self, env: &Env) -> Result<f64, String> {
+        match self {
+            BoundExpr::Num(n) => Ok(*n as f64),
+            BoundExpr::Sym(s) => env
+                .get(s)
+                .ok_or_else(|| format!("unbound contract symbol `{s}`")),
+            BoundExpr::Add(a, b) => Ok(a.eval(env)? + b.eval(env)?),
+            BoundExpr::Mul(a, b) => Ok(a.eval(env)? * b.eval(env)?),
+        }
+    }
+}
+
+impl fmt::Display for BoundExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundExpr::Num(n) => write!(f, "{n}"),
+            BoundExpr::Sym(s) => f.write_str(s),
+            BoundExpr::Add(a, b) => write!(f, "{a} + {b}"),
+            BoundExpr::Mul(a, b) => {
+                let pa = matches!(**a, BoundExpr::Add(..));
+                let pb = matches!(**b, BoundExpr::Add(..));
+                match (pa, pb) {
+                    (true, true) => write!(f, "({a}) * ({b})"),
+                    (true, false) => write!(f, "({a}) * {b}"),
+                    (false, true) => write!(f, "{a} * ({b})"),
+                    (false, false) => write!(f, "{a} * {b}"),
+                }
+            }
+        }
+    }
+}
+
+/// Concrete bindings for a contract's symbols.
+///
+/// The experiment harness builds one per facility/exhibit from the
+/// paper's [`Params`](crate::Params) and the exhibit's geometry (slice
+/// count, tree height, …), then evaluates each committed contract
+/// against it.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    binds: BTreeMap<String, f64>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds `name` to `value`, replacing any previous binding.
+    pub fn bind(mut self, name: &str, value: f64) -> Self {
+        self.binds.insert(name.to_string(), value);
+        self
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.binds.get(name).copied()
+    }
+
+    /// The bound names, for diagnostics.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.binds.keys().map(String::as_str)
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c.is_ascii_digit() {
+            let mut n = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() || d == '_' {
+                    n.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(n);
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    s.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(s);
+        } else if matches!(c, '+' | '*' | '(' | ')') {
+            out.push(c.to_string());
+            chars.next();
+        } else {
+            return Err(format!("unexpected character `{c}`"));
+        }
+    }
+    Ok(out)
+}
+
+fn parse_sum(toks: &mut Vec<String>) -> Result<BoundExpr, String> {
+    let mut e = parse_product(toks)?;
+    while toks.last().is_some_and(|t| t == "+") {
+        toks.pop();
+        e = BoundExpr::Add(Box::new(e), Box::new(parse_product(toks)?));
+    }
+    Ok(e)
+}
+
+fn parse_product(toks: &mut Vec<String>) -> Result<BoundExpr, String> {
+    let mut e = parse_factor(toks)?;
+    while toks.last().is_some_and(|t| t == "*") {
+        toks.pop();
+        e = BoundExpr::Mul(Box::new(e), Box::new(parse_factor(toks)?));
+    }
+    Ok(e)
+}
+
+fn parse_factor(toks: &mut Vec<String>) -> Result<BoundExpr, String> {
+    let Some(t) = toks.pop() else {
+        return Err("expression ends where a value was expected".to_string());
+    };
+    if t == "(" {
+        let e = parse_sum(toks)?;
+        match toks.pop() {
+            Some(c) if c == ")" => Ok(e),
+            _ => Err("unclosed `(`".to_string()),
+        }
+    } else if t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        t.replace('_', "")
+            .parse::<u64>()
+            .map(BoundExpr::Num)
+            .map_err(|_| format!("bad integer `{t}`"))
+    } else if t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Ok(BoundExpr::Sym(t))
+    } else {
+        Err(format!("unexpected `{t}` where a value was expected"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_matches_xtask() {
+        // Accepted language, degrees and symbol order — the same cases
+        // the xtask parser pins in its own unit tests.
+        let e = BoundExpr::parse("slices * pages_per_slice + oid_pages").unwrap();
+        assert_eq!(e.degree(), 2);
+        assert_eq!(e.symbols(), ["slices", "pages_per_slice", "oid_pages"]);
+        assert_eq!(BoundExpr::parse("1").unwrap().degree(), 0);
+        assert_eq!(
+            BoundExpr::parse("probes * (height + chain)")
+                .unwrap()
+                .degree(),
+            2
+        );
+        assert_eq!(BoundExpr::parse("32_000").unwrap(), BoundExpr::Num(32000));
+        for bad in [
+            "", "slices *", "* slices", "(a + b", "a ** b", "a - b", "a / 2",
+        ] {
+            assert!(BoundExpr::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for src in [
+            "1",
+            "sig_pages + oid_pages",
+            "slices * pages_per_slice + oid_pages",
+            "shards * (slices * pages_per_slice + oid_pages)",
+            "probes * (height + chain)",
+        ] {
+            let e = BoundExpr::parse(src).unwrap();
+            assert_eq!(BoundExpr::parse(&e.to_string()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn eval_uses_env_and_reports_unbound() {
+        let e = BoundExpr::parse("slices * pages_per_slice + oid_pages").unwrap();
+        let env = Env::new()
+            .bind("slices", 3.0)
+            .bind("pages_per_slice", 2.0)
+            .bind("oid_pages", 63.0);
+        assert_eq!(e.eval(&env).unwrap(), 69.0);
+        let partial = Env::new().bind("slices", 3.0);
+        let err = e.eval(&partial).unwrap_err();
+        assert!(err.contains("pages_per_slice"), "{err}");
+    }
+}

@@ -32,6 +32,7 @@
 mod actual;
 mod advisor;
 mod bssf;
+mod contract;
 mod extops;
 mod falsedrop;
 mod fssf;
@@ -46,6 +47,7 @@ pub use actual::{
 };
 pub use advisor::{advise, Organization, Recommendation, WorkloadProfile};
 pub use bssf::BssfModel;
+pub use contract::{BoundExpr, Env};
 pub use falsedrop::{
     expected_query_weight, expected_target_weight, fd_subset, fd_superset, fd_superset_mixture,
     fd_superset_uniform_range, m_opt,

@@ -9,7 +9,7 @@
 //! gate on it. The drift table, the metrics snapshot and the JSONL query
 //! trace of the run land in `--out` (default `results/`).
 
-use setsig_experiments::drift;
+use setsig_experiments::{contracts, drift};
 use std::path::PathBuf;
 
 fn usage() -> ! {
@@ -59,6 +59,7 @@ fn main() {
         eprintln!("warning: failed to write drift artifacts: {e}");
     }
 
+    let mut failed = false;
     let drifted = report.drifted();
     if drifted.is_empty() {
         println!(
@@ -68,6 +69,7 @@ fn main() {
             drift::DriftReport::SLACK
         );
     } else {
+        failed = true;
         eprintln!(
             "drift: {}/{} checkpoints diverged from the cost model:",
             drifted.len(),
@@ -79,6 +81,32 @@ fn main() {
                 p.exhibit, p.series, p.d_q, p.model, p.measured
             );
         }
+    }
+
+    // The static `// COST:` contracts, re-checked against the disk: every
+    // measured filter stage must stay at or below its committed bound.
+    let checks = contracts::check(scale, trials);
+    let table = contracts::render(&checks);
+    if let Err(e) = std::fs::write(out_dir.join("drift.contracts.txt"), &table) {
+        eprintln!("warning: failed to write drift.contracts.txt: {e}");
+    }
+    let over: Vec<_> = checks.iter().filter(|c| !c.ok()).collect();
+    if over.is_empty() {
+        println!(
+            "contracts: all {} measured series within their static page bounds",
+            checks.len()
+        );
+    } else {
+        failed = true;
+        eprintln!(
+            "contracts: {}/{} measured series exceed their static page bounds:",
+            over.len(),
+            checks.len()
+        );
+        eprint!("{table}");
+    }
+
+    if failed {
         std::process::exit(1);
     }
 }

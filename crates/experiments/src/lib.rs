@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contracts;
 pub mod drift;
 pub mod exhibits;
 mod report;

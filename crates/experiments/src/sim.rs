@@ -614,8 +614,7 @@ mod tests {
 
     #[test]
     fn engine_env_pinned_tier_requires_a_pool() {
-        let err =
-            EngineConfig::from_lookup(lookup(&[("SETSIG_PINNED_PAGES", "8")])).unwrap_err();
+        let err = EngineConfig::from_lookup(lookup(&[("SETSIG_PINNED_PAGES", "8")])).unwrap_err();
         assert!(
             err.contains("SETSIG_PINNED_PAGES") && err.contains("SETSIG_POOL_PAGES"),
             "error must name both knobs: {err}"

@@ -327,6 +327,7 @@ impl BTree {
     /// The posting list of `key` (empty when absent). Costs
     /// `height + 1 (+ chain length)` page reads — the paper's `rc`.
     // HOT-PATH: nix.probe
+    // COST: height + chain pages
     pub fn lookup(&self, key: u64) -> Result<Vec<u64>> {
         let (_, _leaf_no, page) = self.descend(key)?;
         match Leaf::search(&page, key) {

@@ -97,6 +97,7 @@ impl Nix {
 
     /// Posting list of one element: the OIDs of every object whose indexed
     /// set contains it. Costs `rc = height + 1` page reads (+ chain links).
+    // COST: height + chain pages
     pub fn lookup_element(&self, element: &ElementKey) -> Result<Vec<Oid>> {
         Ok(self
             .tree
@@ -130,6 +131,7 @@ impl Nix {
     /// The §5.1.3 smart strategy: intersect only the first `j_cap` query
     /// elements' posting lists; the remaining elements are verified at drop
     /// resolution (so the result is *not* exact when truncated).
+    // COST: probes * (height + chain) pages
     pub fn candidates_superset_smart(
         &self,
         query: &SetQuery,
@@ -212,6 +214,7 @@ impl SetAccessFacility for Nix {
         Ok(())
     }
 
+    // COST: probes * (height + chain) pages
     fn candidates_with_stats(&self, query: &SetQuery) -> Result<(CandidateSet, Option<ScanStats>)> {
         let armed = self.arm_obs();
         let set = match query.predicate {

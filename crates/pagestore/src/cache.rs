@@ -269,6 +269,7 @@ impl BufferPool {
 
 impl PageIo for BufferPool {
     // HOT-PATH: pagestore.read
+    // COST: 1 pages
     fn read_page(&self, id: FileId, n: u32) -> Result<Page> {
         let key = (id, n);
         {
@@ -301,6 +302,7 @@ impl PageIo for BufferPool {
         Ok(())
     }
 
+    // COST: 1 pages
     fn update_page(&self, id: FileId, n: u32, f: &mut dyn FnMut(&mut Page)) -> Result<()> {
         // The pool cannot blind-update the underlying disk without losing
         // its frame coherence; a cached read (free on hit) plus a
@@ -556,7 +558,8 @@ mod tests {
         pool.write_page(f, 0, &p).unwrap();
         // The pinned tier serves the written contents, not a stale copy.
         assert_eq!(pool.read_page(f, 0).unwrap().read_u8(0), 42);
-        pool.update_page(f, 0, &mut |page| page.write_u8(0, 43)).unwrap();
+        pool.update_page(f, 0, &mut |page| page.write_u8(0, 43))
+            .unwrap();
         assert_eq!(pool.read_page(f, 0).unwrap().read_u8(0), 43);
         // All of those post-pin reads came from RAM.
         assert_eq!(disk.snapshot().reads, 1);

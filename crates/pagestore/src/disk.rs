@@ -377,6 +377,7 @@ pub trait PageIo: Send + Sync {
 }
 
 impl PageIo for Disk {
+    // COST: 1 pages
     fn read_page(&self, id: FileId, n: u32) -> Result<Page> {
         Disk::read_page(self, id, n)
     }
@@ -404,6 +405,7 @@ impl PageIo for Disk {
 }
 
 impl PageIo for Arc<Disk> {
+    // COST: 1 pages
     fn read_page(&self, id: FileId, n: u32) -> Result<Page> {
         Disk::read_page(self, id, n)
     }

@@ -318,6 +318,7 @@ impl<F: SetAccessFacility + Send + Sync + 'static> QueryService<F> {
 /// empty), run the shard query, deposit the part. Exits once the queue
 /// is closed *and* drained, so shutdown never drops admitted work.
 // HOT-PATH: service.dispatch
+// COST: tasks * (slices * pages_per_slice + oid_pages) pages
 fn worker_loop<F: SetAccessFacility + Send + Sync>(inner: &PoolInner<F>) {
     loop {
         let task = {

@@ -1,0 +1,61 @@
+//! cost FAIL fixture: every contract error class — malformed shapes, a
+//! hot-path root that reads pages with no declared bound, loop nests
+//! deeper than the declared degree (directly and through contract
+//! composition), and page I/O outside every contracted root. Every
+//! marked line must produce a diagnostic.
+
+/// A hot-path root that reaches page I/O but declares no cost: the root
+/// registry demands a contract, and its read is outside every contract.
+// HOT-PATH: fixture.scan
+pub fn scan(npages: u32) { //~ ERROR cost: missing-contract
+    for p in 0..npages {
+        read_page(p); //~ ERROR cost: uncontracted-io
+    }
+}
+
+/// Declared linear, actually quadratic: the classic superlinear blow-up
+/// the lint exists for.
+// COST: rows pages
+pub fn nested(rows: u32, cols: u32) { //~ ERROR cost: superlinear-io
+    for r in 0..rows {
+        for c in 0..cols {
+            read_page(r + c);
+        }
+    }
+}
+
+/// The slice read promises one symbolic level…
+// COST: pages_per_slice pages
+pub fn read_slice(pages_per_slice: u32) {
+    for p in 0..pages_per_slice {
+        read_page(p);
+    }
+}
+
+/// …so looping over it composes to degree 2, more than the declared
+/// degree 1: contract composition is checked, not just lexical nesting.
+// COST: slices pages
+pub fn and_loop(slices: u32) { //~ ERROR cost: superlinear-io
+    for s in 0..slices {
+        read_slice(s);
+    }
+}
+
+/// An unconctracted maintenance chain: the direct read is flagged where
+/// it happens, and the caller's entry into the reading helper too.
+fn maintenance() {
+    rebuild(); //~ ERROR cost: uncontracted-io
+}
+
+fn rebuild() {
+    read_page(0); //~ ERROR cost: uncontracted-io
+}
+
+/// Malformed annotations, one per shape.
+/* COST: 3 sheep */ pub fn wrong_unit() {} //~ ERROR cost: unit
+
+/* COST: slices + pages */ pub fn bad_expr() {} //~ ERROR cost: cannot parse
+
+pub struct NotAFn;
+// COST: 1 pages //~ ERROR cost: attaches to no fn
+pub const NOT_A_FN: u32 = 1;

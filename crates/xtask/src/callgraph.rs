@@ -165,6 +165,34 @@ impl<'a> CallGraph<'a> {
         self.calls.iter().filter(|c| c.targets.is_empty())
     }
 
+    /// Resolver coverage per crate: `(crate, resolved, unresolved)`
+    /// non-test call-site counts, sorted by crate name (`(root)` for the
+    /// facade package). Surfaced by `--self-test` and the cost-matrix
+    /// JSON so a resolver regression — which silently weakens every
+    /// graph-based lint — shows up as a number, not as missing findings.
+    pub fn resolution_coverage(&self) -> Vec<(String, u64, u64)> {
+        let mut by_crate: HashMap<String, (u64, u64)> = HashMap::new();
+        for call in &self.calls {
+            if call.is_test {
+                continue;
+            }
+            let krate = self.files[call.file]
+                .crate_dir
+                .clone()
+                .unwrap_or_else(|| "(root)".to_string());
+            let entry = by_crate.entry(krate).or_default();
+            if call.targets.is_empty() {
+                entry.1 += 1;
+            } else {
+                entry.0 += 1;
+            }
+        }
+        let mut out: Vec<(String, u64, u64)> =
+            by_crate.into_iter().map(|(k, (r, u))| (k, r, u)).collect();
+        out.sort();
+        out
+    }
+
     /// Whether an interprocedural traversal should follow `call` to
     /// `target`.
     ///
@@ -288,7 +316,13 @@ impl<'a> CallGraph<'a> {
                 // `mod m;`, `fn f(…);` (trait decl), `impl T {}` can't end
                 // in `;` — a pending scope that meets one died bodiless.
                 pending = None;
-            } else if t.is_ident("impl") && !in_fn(&stack) {
+            } else if t.is_ident("impl")
+                && !in_fn(&stack)
+                && !matches!(pending, Some(Scope::Fn { .. }))
+            {
+                // The pending-Fn guard keeps `impl Trait` in a signature
+                // (`fn f(v: impl FnMut(…))`, `-> impl Iterator`) from
+                // clobbering the fn's scope before its body brace arrives.
                 pending = Some(parse_impl_header(toks, i));
             } else if t.is_ident("trait")
                 && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
@@ -786,6 +820,30 @@ mod tests {
         let (b0, b1) = outer.body.unwrap();
         let (o, c) = t.body.unwrap();
         assert!(o > b0 && c < b1, "resolved to the nested shadow");
+    }
+
+    #[test]
+    fn impl_trait_in_signature_keeps_the_body() {
+        // `impl FnMut(…)` in a parameter list (or `-> impl Iterator`) must
+        // not clobber the pending fn scope: the body brace still belongs
+        // to the fn, and its call sites stay attributed.
+        let f = file(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn visit_all(mut visit: impl FnMut(u64, &str)) -> impl Iterator<Item = u8> {\n\
+                 helper();\n\
+                 std::iter::empty()\n\
+             }\n\
+             fn helper() {}\n",
+        );
+        let g = graph(&[&f]);
+        let def = fn_named(&g, "visit_all");
+        assert!(def.body.is_some(), "impl-Trait param lost the fn body");
+        let call = call_named(&g, "helper");
+        assert_eq!(
+            call.caller,
+            Some(g.fns.iter().position(|d| d.name == "visit_all").unwrap())
+        );
     }
 
     #[test]

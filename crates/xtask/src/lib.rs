@@ -1,6 +1,6 @@
 //! # xtask — project-specific static analysis for the setsig workspace
 //!
-//! `cargo xtask analyze` runs twelve offline, hand-rolled lints over the
+//! `cargo xtask analyze` runs thirteen offline, hand-rolled lints over the
 //! workspace source (token-level scanner, no network, no rustc plumbing):
 //!
 //! 1. **accounting** — raw page I/O (`read_page` / `write_page`) may only be
@@ -50,7 +50,14 @@
 //! 11. **reachability** — never-called non-`pub` fns and unreferenced
 //!     `pub` fns in private modules are reported, keeping the growing
 //!     workspace dead-code-free.
-//! 12. **stale-allow** — every `crates/xtask/allow/*.allow` entry must
+//! 12. **cost** — every scan entry point carries a machine-readable
+//!     `// COST: <expr> pages` contract, and the loop nesting the
+//!     [`loopnest`] analyzer reconstructs around each page-I/O call site
+//!     must not exceed the contract's polynomial degree; page I/O
+//!     outside every contracted root is an error. `cargo xtask cost`
+//!     dumps the contract matrix, `--check` diffs it against
+//!     `crates/xtask/cost.baseline.json` (see [`lints::cost`]).
+//! 13. **stale-allow** — every `crates/xtask/allow/*.allow` entry must
 //!     still match a real site; dangling suppressions fail the run.
 //!
 //! Hot-path-hygiene, panic-reachability and blocking-in-worker are all
@@ -75,6 +82,7 @@ pub mod callgraph;
 pub mod effects;
 pub mod lints;
 pub mod locks;
+pub mod loopnest;
 pub mod scan;
 pub mod selftest;
 pub mod workspace;
@@ -117,6 +125,11 @@ pub enum Lint {
     /// The public-API effect matrix drifted from the committed baseline
     /// (`cargo xtask effects --check`).
     EffectRegression,
+    /// A page-I/O cost-contract violation: a scan entry point without a
+    /// `// COST: <expr> pages` contract, an I/O loop nest deeper than the
+    /// contract's degree, an I/O site outside every contracted root, or a
+    /// malformed contract (see [`lints::cost`] and [`loopnest`]).
+    Cost,
 }
 
 impl Lint {
@@ -136,6 +149,7 @@ impl Lint {
             Lint::Reachability => "reachability",
             Lint::StaleAllow => "stale-allow",
             Lint::EffectRegression => "effect-regression",
+            Lint::Cost => "cost",
         }
     }
 
@@ -155,6 +169,7 @@ impl Lint {
             "reachability" => Some(Lint::Reachability),
             "stale-allow" => Some(Lint::StaleAllow),
             "effect-regression" => Some(Lint::EffectRegression),
+            "cost" => Some(Lint::Cost),
             _ => None,
         }
     }
@@ -236,6 +251,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let allow_panic_reach = ws.allowlist("panic_reach.allow")?;
     let allow_blocking = ws.allowlist("blocking.allow")?;
     let allow_swallowed = ws.allowlist("swallowed.allow")?;
+    let allow_cost = ws.allowlist("cost.allow")?;
     let mut diags = Vec::new();
     diags.extend(lints::accounting::run(&ws, &allow_accounting));
     diags.extend(lints::unsafe_audit::run(&ws));
@@ -248,6 +264,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
     diags.extend(lints::blocking_worker::run(&ws, &allow_blocking));
     diags.extend(lints::swallowed_result::run(&ws, &allow_swallowed));
     diags.extend(lints::reachability::run(&ws));
+    diags.extend(lints::cost::run(&ws, &allow_cost));
     diags.extend(lints::stale_allow::check(&[
         ("crates/xtask/allow/accounting.allow", &allow_accounting),
         ("crates/xtask/allow/panics.allow", &allow_panics),
@@ -256,6 +273,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, String> {
         ("crates/xtask/allow/panic_reach.allow", &allow_panic_reach),
         ("crates/xtask/allow/blocking.allow", &allow_blocking),
         ("crates/xtask/allow/swallowed.allow", &allow_swallowed),
+        ("crates/xtask/allow/cost.allow", &allow_cost),
     ]));
     diags.sort_by(|a, b| (&a.file, a.line, a.lint, &a.msg).cmp(&(&b.file, b.line, b.lint, &b.msg)));
     Ok(diags)

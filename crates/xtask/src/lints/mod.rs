@@ -5,6 +5,7 @@
 
 pub mod accounting;
 pub mod blocking_worker;
+pub mod cost;
 pub mod guard_across_io;
 pub mod hot_path;
 pub mod layering;

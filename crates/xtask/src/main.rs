@@ -1,4 +1,4 @@
-//! `cargo xtask` — project task runner: `analyze` and `effects`.
+//! `cargo xtask` — project task runner: `analyze`, `effects` and `cost`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -10,16 +10,24 @@ Usage: cargo xtask <command>
 Commands:
   analyze [--root <path>] [--format text|json]
                             run the project lints over the workspace
-  analyze --self-test       verify the lints against the fixture corpus
+  analyze --self-test [--bench-json <path>]
+                            verify the lints against the fixture corpus;
+                            optionally write per-lint wall times as a
+                            bench-summary JSON
   effects [--root <path>]   print the public-API effect matrix as JSON
   effects --check           diff the matrix against the committed
                             baseline (crates/xtask/effects.baseline.json);
                             any drift fails with witness chains
   effects --update          rewrite the baseline from the current matrix
+  cost [--root <path>]      print the page-I/O cost-contract matrix
+                            (contracts + resolver coverage) as JSON
+  cost --check              diff the contracts against the committed
+                            baseline (crates/xtask/cost.baseline.json)
+  cost --update             rewrite the cost baseline from the source
 
 Lints: accounting, unsafe-audit, panic-surface, layering, lock-order,
 guard-across-io, hot-path-hygiene, panic-reachability,
-blocking-in-worker, swallowed-result, reachability, stale-allow.
+blocking-in-worker, swallowed-result, reachability, cost, stale-allow.
 See DESIGN.md \"Static analysis & invariants\" for what each enforces.";
 
 /// Output format for analyze findings.
@@ -45,6 +53,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match it.next().map(String::as_str) {
         Some("analyze") => {}
         Some("effects") => return run_effects(it.as_slice()),
+        Some("cost") => return run_cost(it.as_slice()),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
             return Ok(ExitCode::SUCCESS);
@@ -53,6 +62,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     let mut root: Option<PathBuf> = None;
     let mut self_test = false;
+    let mut bench_json: Option<PathBuf> = None;
     let mut format = Format::Text;
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -61,6 +71,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 root = Some(PathBuf::from(p));
             }
             "--self-test" => self_test = true,
+            "--bench-json" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| "--bench-json needs a path".to_string())?;
+                bench_json = Some(PathBuf::from(p));
+            }
             "--format" => {
                 let f = it
                     .next()
@@ -87,6 +103,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         // workspace grows.
         for (lint, ms) in &report.timings {
             println!("  {lint:<18} {ms:8.1} ms");
+        }
+        // Resolver coverage over the real workspace: a drop in the
+        // resolved share silently weakens every graph-based lint, so the
+        // counts print next to the fixture verdict.
+        for (krate, resolved, unresolved) in &report.coverage {
+            println!("  resolver {krate:<11} {resolved:>5} resolved / {unresolved:>4} unresolved");
+        }
+        if let Some(path) = &bench_json {
+            // The bench-summary shape the perf-trajectory CI job archives
+            // (one result row per lint section, milliseconds).
+            let mut s = String::from("{\n  \"bench\": \"xtask-analyze\",\n  \"results\": [\n");
+            for (i, (lint, ms)) in report.timings.iter().enumerate() {
+                let comma = if i + 1 < report.timings.len() {
+                    ","
+                } else {
+                    ""
+                };
+                s.push_str(&format!(
+                    "    {{\"name\": \"{lint}\", \"ms\": {ms:.3}}}{comma}\n"
+                ));
+            }
+            s.push_str("  ]\n}\n");
+            std::fs::write(path, s).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
         if report.failures.is_empty() {
             println!("xtask analyze --self-test: fixture corpus OK ({elapsed_ms:.1} ms)");
@@ -122,7 +161,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         println!(
             "xtask analyze: workspace clean (accounting, unsafe-audit, panic-surface, \
              layering, lock-order, guard-across-io, hot-path-hygiene, panic-reachability, \
-             blocking-in-worker, swallowed-result, reachability, stale-allow)"
+             blocking-in-worker, swallowed-result, reachability, cost, stale-allow)"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -215,6 +254,100 @@ fn run_effects(args: &[String]) -> Result<ExitCode, String> {
             }
             eprintln!(
                 "xtask effects --check: {} drift(s) from {BASELINE_REL}",
+                diags.len()
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// What `cargo xtask cost` should do with the contract matrix.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CostMode {
+    Print,
+    Check,
+    Update,
+}
+
+/// The `cost` subcommand: collect the `// COST:` contracts, run the
+/// loop-nest analysis, and print, check or update the committed baseline.
+fn run_cost(args: &[String]) -> Result<ExitCode, String> {
+    use xtask::callgraph::CallGraph;
+    use xtask::lints::cost::{self, BASELINE_REL};
+    use xtask::workspace::{FileClass, SourceFile, Workspace};
+
+    let mut root: Option<PathBuf> = None;
+    let mut mode = CostMode::Print;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let p = it.next().ok_or_else(|| "--root needs a path".to_string())?;
+                root = Some(PathBuf::from(p));
+            }
+            "--check" => mode = CostMode::Check,
+            "--update" => mode = CostMode::Update,
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => default_root()?,
+    };
+
+    let ws = Workspace::load(&root)?;
+    let files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.class != FileClass::Test)
+        .collect();
+    let graph = CallGraph::build(&files);
+    let contracts = cost::collect_contracts(&graph);
+    let degrees: std::collections::HashMap<usize, u32> = contracts
+        .by_fn
+        .iter()
+        .map(|(fid, c)| (*fid, c.degree))
+        .collect();
+    let an = xtask::loopnest::analyze(&graph, &degrees);
+    let m = cost::matrix(&graph, &contracts, &an);
+
+    match mode {
+        CostMode::Print => {
+            print!("{}", m.to_json());
+            Ok(ExitCode::SUCCESS)
+        }
+        CostMode::Update => {
+            let path = root.join(BASELINE_REL);
+            std::fs::write(&path, m.baseline_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "xtask cost --update: wrote {} contract(s) to {BASELINE_REL}",
+                m.rows.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        CostMode::Check => {
+            let path = root.join(BASELINE_REL);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "cannot read {}: {e} — bootstrap the baseline with \
+                     `cargo xtask cost --update`",
+                    path.display()
+                )
+            })?;
+            let diags = cost::check_baseline(&m, &text)?;
+            if diags.is_empty() {
+                println!(
+                    "xtask cost --check: {} contract(s) match {BASELINE_REL}",
+                    m.rows.len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!(
+                "xtask cost --check: {} drift(s) from {BASELINE_REL}",
                 diags.len()
             );
             Ok(ExitCode::FAILURE)

@@ -14,6 +14,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use crate::callgraph::CallGraph;
 use crate::lints;
 use crate::workspace::{Allowlist, FileClass, SourceFile, Workspace};
 use crate::{Diagnostic, Lint};
@@ -25,6 +26,11 @@ pub struct SelfTestReport {
     pub failures: Vec<String>,
     /// `(lint name, milliseconds)` per fixture section, in run order.
     pub timings: Vec<(&'static str, f64)>,
+    /// Resolver coverage over the real workspace: per-crate `(crate,
+    /// resolved, unresolved)` non-test call-site counts. A shrinking
+    /// resolved share weakens every graph-based lint silently — so it is
+    /// printed, not buried.
+    pub coverage: Vec<(String, u64, u64)>,
 }
 
 /// Runs the whole fixture corpus.
@@ -260,6 +266,27 @@ pub fn self_test(root: &Path) -> Result<SelfTestReport, String> {
     )?;
     lap("reachability", &mut timings, &mut timer);
 
+    // cost: the fail fixture trips every contract error class (malformed
+    // shapes, a hot-path root with no contract, a nest deeper than the
+    // declared degree, page I/O outside every contracted root); the pass
+    // fixture shows composing contracts, a degree-2 pipeline, and an
+    // allowlisted maintenance read staying quiet.
+    check_file_fixture(
+        &fixtures.join("cost/fail.rs"),
+        |f| lints::cost::check_file(f, &Allowlist::default()),
+        &mut failures,
+    )?;
+    let allow_cost = Allowlist::parse(
+        "# self-test: the fixture's justified maintenance read\n\
+         crates/experiments/src/fixture.rs::compact\n",
+    );
+    check_file_fixture(
+        &fixtures.join("cost/pass.rs"),
+        |f| lints::cost::check_file(f, &allow_cost),
+        &mut failures,
+    )?;
+    lap("cost", &mut timings, &mut timer);
+
     // stale-allow: a consulted entry stays quiet, an unmatched one is
     // reported with its own file/line.
     let stale = Allowlist::parse("crates/experiments/src/fixture.rs::used\nnever/matched.rs\n");
@@ -276,7 +303,23 @@ pub fn self_test(root: &Path) -> Result<SelfTestReport, String> {
     }
     lap("stale-allow", &mut timings, &mut timer);
 
-    Ok(SelfTestReport { failures, timings })
+    // Resolver coverage over the *real* workspace (not the fixtures):
+    // the per-crate resolved/unresolved call-site counts every
+    // graph-based lint stands on.
+    let ws = Workspace::load(root)?;
+    let lib_files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.class != FileClass::Test)
+        .collect();
+    let coverage = CallGraph::build(&lib_files).resolution_coverage();
+    lap("resolver-coverage", &mut timings, &mut timer);
+
+    Ok(SelfTestReport {
+        failures,
+        timings,
+        coverage,
+    })
 }
 
 /// Loads a fixture file as library code of a pretend `experiments` crate.
